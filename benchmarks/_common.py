@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure from the paper's
+evaluation section and writes its rows to ``benchmarks/out/<name>.txt``
+(stdout is captured by pytest unless ``-s`` is passed, so the files are
+the durable record; EXPERIMENTS.md summarizes them).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as f:
+        f.write(text)
+    print(text)
+    return path
+
+
+def smooth_activation(rng, shape, sigma=1.5, relu=True):
+    """Realistic conv activation sample: band-limited field (+ ReLU)."""
+    import numpy as np
+    from scipy.ndimage import gaussian_filter
+
+    x = rng.standard_normal(shape)
+    x = gaussian_filter(x, sigma=(0,) * (len(shape) - 2) + (sigma, sigma))
+    x /= x.std() + 1e-12
+    if relu:
+        x = np.maximum(x, 0)
+    return x.astype(np.float32)

@@ -1,0 +1,47 @@
+"""Figure 2: memory consumption (weights vs activations) and top-1
+accuracy of state-of-the-art CNNs at 224x224.
+
+Regenerates the bar chart's data: per model, the weight footprint, the
+saved-activation footprint at batch 32, and the published top-1 accuracy
+(reference values from Table 1 / the original papers).
+"""
+
+import pytest
+
+from _common import write_report
+from repro.models import (
+    PAPER_REFERENCE,
+    total_saved_bytes,
+    weight_bytes,
+)
+from repro.utils import human_bytes
+
+MODELS = ["alexnet", "vgg16", "resnet18", "resnet50"]
+
+
+def fig2_rows(batch=32):
+    rows = [
+        f"Figure 2 — memory consumption & top-1 accuracy (batch {batch}, 224x224)",
+        f"{'model':10s} {'weights':>12s} {'activations':>12s} {'act/weights':>12s} {'top-1 (paper)':>14s}",
+    ]
+    for name in MODELS:
+        w = weight_bytes(name)
+        a = total_saved_bytes(name, batch=batch)
+        top1 = PAPER_REFERENCE[name].top1_baseline
+        rows.append(
+            f"{name:10s} {human_bytes(w):>12s} {human_bytes(a):>12s} {a / w:>11.1f}x {top1:>13.2f}%"
+        )
+    rows.append(
+        "shape check: activations dominate weights for the deep models; AlexNet's"
+        " giant FC head makes it the exception (as in the paper's Figure 2)"
+    )
+    return rows
+
+
+def test_fig02_report(benchmark):
+    rows = benchmark.pedantic(fig2_rows, rounds=1, iterations=1)
+    write_report("fig02_memory_consumption", rows)
+    # the figure's qualitative claim (AlexNet is weight-dominated)
+    for name in ("vgg16", "resnet18", "resnet50"):
+        assert total_saved_bytes(name, batch=32) > weight_bytes(name)
+    assert total_saved_bytes("alexnet", batch=256) > weight_bytes("alexnet")

@@ -1,0 +1,71 @@
+"""Figure 8: predicted vs measured gradient-error sigma across the conv
+layers of AlexNet and VGG-16 (scaled variants), plus the fitted
+coefficient's stability (the paper identifies a = 0.32 in its mean-|L|
+convention; the rms convention is exactly 1/sqrt(3)).
+"""
+
+import numpy as np
+import pytest
+
+from _common import smooth_activation, write_report
+from repro.analysis import conv_gradient_error_sample
+from repro.core import THEORY_COEFFICIENT_A, fit_coefficient, predict_sigma
+from repro.nn import Conv2D
+
+EB = 1e-3
+
+# (name, batch, in_ch, out_ch, spatial) spanning AlexNet/VGG-like layers
+LAYERS = [
+    ("alexnet-conv2", 16, 24, 32, 14),
+    ("alexnet-conv3", 16, 32, 48, 7),
+    ("alexnet-conv5", 16, 48, 32, 7),
+    ("vgg-conv1_2", 8, 16, 16, 32),
+    ("vgg-conv3_1", 8, 32, 64, 8),
+]
+
+
+def measure_layer(name, n, cin, cout, hw, rng):
+    x = smooth_activation(rng, (n, cin, hw, hw), sigma=1.0, relu=True)
+    conv = Conv2D(cin, cout, 3, padding=1, rng=2)
+    dout = (rng.standard_normal((n, cout, hw, hw)) / n).astype(np.float32)
+    errs = conv_gradient_error_sample(conv, x, dout, EB, trials=3, preserve_zeros=True, rng=9)
+    measured = float(errs.std())
+    lrms = float(np.sqrt((dout.astype(np.float64) ** 2).mean()))
+    m = n * hw * hw
+    r = float(np.count_nonzero(x)) / x.size
+    predicted = predict_sigma(EB, lrms, m, nonzero_ratio=r)
+    lmean = float(np.abs(dout).mean())
+    return measured, predicted, lrms, lmean, m, r
+
+
+def test_fig08_report(benchmark):
+    rng = np.random.default_rng(8)
+
+    def run_all():
+        return [(name, *measure_layer(name, n, ci, co, hw, rng))
+                for name, n, ci, co, hw in LAYERS]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        "Figure 8 — measured vs predicted gradient-error sigma per layer",
+        f"{'layer':14s} {'measured':>11s} {'predicted':>11s} {'ratio':>7s}",
+    ]
+    meas, ebs, lrms_l, lmean_l, ms, rs = [], [], [], [], [], []
+    for name, m_sigma, p_sigma, lrms, lmean, m, r in results:
+        rows.append(f"{name:14s} {m_sigma:>11.3e} {p_sigma:>11.3e} {m_sigma / p_sigma:>7.3f}")
+        meas.append(m_sigma); ebs.append(EB); lrms_l.append(lrms)
+        lmean_l.append(lmean); ms.append(m); rs.append(r)
+        assert m_sigma == pytest.approx(p_sigma, rel=0.2)
+
+    a_rms = fit_coefficient(meas, ebs, lrms_l, ms, rs)
+    a_mean = fit_coefficient(meas, ebs, lmean_l, ms, rs)
+    rows += [
+        f"fitted coefficient (rms-loss convention)  a = {a_rms:.3f}  "
+        f"(theory 1/sqrt(3) = {THEORY_COEFFICIENT_A:.3f})",
+        f"fitted coefficient (mean-|L| convention)  a = {a_mean:.3f}  "
+        f"(paper reports 0.32 at its scale/convention)",
+        "paper: one coefficient fits all layers and the prediction aligns — matched",
+    ]
+    write_report("fig08_sigma_prediction", rows)
+    assert a_rms == pytest.approx(THEORY_COEFFICIENT_A, rel=0.12)

@@ -1,0 +1,66 @@
+"""Figure 9: training accuracy under injected gradient error of
+sigma = fraction * G-bar (average gradient magnitude).
+
+The paper, training AlexNet/ImageNet near convergence, finds 0.01 benign,
+0.02 marginal, 0.05 unrecoverable.  At CPU scale the task is easier and
+the tolerance threshold sits higher; the *shape* to reproduce is
+monotone: small fractions indistinguishable from baseline, very large
+fractions destroy training.  (The sigma=0.01 operating point the
+framework uses must land in the benign region.)
+"""
+
+import numpy as np
+import pytest
+
+from _common import write_report
+from repro.analysis import GradientErrorInjector
+from repro.models import build_scaled_model
+from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+FRACTIONS = [0.0, 0.01, 0.05, 16.0, 64.0]
+ITERS = 120
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticImageDataset(num_classes=8, image_size=32, channels=3, signal=0.35, seed=7)
+
+
+def train_once(dataset, fraction, seed=1):
+    net = build_scaled_model("alexnet", num_classes=8, image_size=32, rng=43)
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9, weight_decay=5e-4)
+    tr = Trainer(net, opt)
+    if fraction > 0:
+        tr.grad_transforms.append(
+            GradientErrorInjector(fraction, rng=np.random.default_rng(seed + 100))
+        )
+    tr.train(batches(dataset, 32, ITERS, seed=seed))
+    ev = dataset.fixed_eval_set(384)
+    return tr.evaluate(*ev)
+
+
+def test_fig09_report(dataset, benchmark):
+    accs = {}
+
+    def sweep():
+        for f in FRACTIONS:
+            accs[f] = train_once(dataset, f)
+        return accs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        f"Figure 9 — accuracy after {ITERS} iterations vs injected gradient error",
+        f"{'sigma (xG)':>10s} {'eval accuracy':>14s}",
+    ]
+    for f in FRACTIONS:
+        rows.append(f"{f:>10.2f} {accs[f]:>14.3f}")
+    rows += [
+        "paper shape: sigma=0.01G indistinguishable from baseline; large sigma",
+        "destroys training (the paper's cliff is at 0.05 near ImageNet convergence;",
+        "at CPU scale the cliff sits at a larger fraction — same monotone shape).",
+    ]
+    write_report("fig09_gradient_error_training", rows)
+    assert accs[0.01] > accs[0.0] - 0.05  # benign at the operating point
+    assert accs[0.05] > accs[0.0] - 0.10  # still benign at CPU scale
+    assert accs[64.0] < accs[0.0] - 0.2  # catastrophic past the cliff
+    assert accs[64.0] <= accs[16.0] + 0.05  # monotone tail

@@ -1,0 +1,105 @@
+"""Section 5.4: performance overhead decomposition across memory policies.
+
+Regenerates the paper's overhead numbers: ~17% at the same batch size
+(model-dependent; ~7% for VGG-16 when the saved memory funds a batch
+increase), the Layrub migration comparison (2.4x memory at 24.1% cost),
+plus codec throughput microbenchmarks on real activation tensors.
+"""
+
+import numpy as np
+import pytest
+
+from _common import smooth_activation, write_report
+from repro.compression import (
+    DeflateCompressor,
+    JpegLikeCompressor,
+    SparseLosslessCompressor,
+    SZCompressor,
+)
+from repro.simulator import (
+    BASELINE,
+    MemoryPolicyModel,
+    TrainingSimulator,
+    V100,
+    layrub_like,
+    our_policy,
+)
+
+
+def recompute_policy():
+    """Chen et al.-style recomputation: ~30% extra forward time, ~3x
+    activation reduction (cheap layers only)."""
+    return MemoryPolicyModel("recompute", ratio=3.0, recompute_fraction=0.30)
+
+
+def test_overhead_policies_report(benchmark):
+    def run():
+        out = []
+        for model in ("alexnet", "vgg16", "resnet50"):
+            base = TrainingSimulator(model, V100, policy=BASELINE).simulate(32)
+            for policy in (our_policy(11.0), layrub_like(), recompute_policy()):
+                sim = TrainingSimulator(model, V100, policy=policy).simulate(32)
+                out.append(
+                    (model, policy.name, sim.iteration_s / base.iteration_s - 1,
+                     base.stored_gb / sim.stored_gb)
+                )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        "Section 5.4 — per-policy overhead and memory reduction (batch 32)",
+        f"{'model':10s} {'policy':10s} {'overhead':>9s} {'mem reduction':>14s}",
+    ]
+    for model, pol, ov, mem in results:
+        rows.append(f"{model:10s} {pol:10s} {ov:>8.1%} {mem:>13.1f}x")
+    vgg_ours = next(ov for m, p, ov, _ in results if m == "vgg16" and p == "ours")
+    lay = [(m, ov, mem) for m, p, ov, mem in results if p == "layrub"]
+    rows += [
+        f"paper: ~17% overhead overall; 'as low as 7%' on VGG-16 "
+        f"(ours: {vgg_ours:.1%})",
+        f"paper: Layrub averages 2.4x memory at 24.1% overhead "
+        f"(ours: {np.mean([ov for _, ov, _ in lay]):.1%} at ~{np.mean([m for _, _, m in lay]):.1f}x)",
+        "note (paper, 5.4): 1x1-kernel-heavy nets pay relatively more —",
+        "compare resnet50 (bottleneck 1x1s) vs vgg16 rows above.",
+    ]
+    write_report("sec54_overhead", rows)
+    assert 0.0 < vgg_ours < 0.15
+
+
+@pytest.fixture(scope="module")
+def act():
+    rng = np.random.default_rng(4)
+    return smooth_activation(rng, (8, 64, 56, 56), sigma=1.2, relu=True)
+
+
+class TestCodecThroughput:
+    """Microbenchmarks: the compute cost behind the overhead model."""
+
+    def test_sz_huffman_compress(self, act, benchmark):
+        comp = SZCompressor(1e-3, entropy="huffman")
+        ct = benchmark(comp.compress, act)
+        assert ct.compression_ratio > 4
+
+    def test_sz_huffman_decompress(self, act, benchmark):
+        comp = SZCompressor(1e-3, entropy="huffman")
+        ct = comp.compress(act)
+        out = benchmark(comp.decompress, ct)
+        assert out.shape == act.shape
+
+    def test_sz_zlib_compress(self, act, benchmark):
+        comp = SZCompressor(1e-3, entropy="zlib")
+        ct = benchmark(comp.compress, act)
+        assert ct.compression_ratio > 3
+
+    def test_jpeg_like_roundtrip(self, act, benchmark):
+        codec = JpegLikeCompressor(quality=50)
+        benchmark(codec.roundtrip, act)
+
+    def test_lossless_sparse_compress(self, act, benchmark):
+        codec = SparseLosslessCompressor()
+        ct = benchmark(codec.compress, act)
+        assert ct.compression_ratio > 1
+
+    def test_lossless_deflate_compress(self, act, benchmark):
+        codec = DeflateCompressor(level=1)
+        benchmark(codec.compress, act)

@@ -1,0 +1,84 @@
+"""Table 1: per-model conv-activation size and compression ratio.
+
+Activation sizes come from exact shape arithmetic at 224x224 / batch 256
+(no allocation).  Compression ratios are measured by running the actual
+compressor on realistic per-layer activation samples (band-limited
+post-ReLU fields at each layer's true shape, small batch) with the
+adaptive controller's operating-point error bound, then weighting each
+layer by its full-scale byte share.
+"""
+
+import numpy as np
+import pytest
+
+from _common import smooth_activation, write_report
+from repro.compression import SZCompressor
+from repro.models import (
+    PAPER_REFERENCE,
+    full_model_specs,
+    walk_shapes,
+)
+from repro.utils import human_bytes
+
+MODELS = ["alexnet", "vgg16", "resnet18", "resnet50"]
+SAMPLE_BATCH = 2
+#: the adaptive controller's typical operating point observed in the
+#: Figure 10 runs: eb ~= 5% of the activation's standard deviation
+REL_EB = 0.05
+
+
+def measured_model_ratio(name, comp, rng):
+    """Byte-weighted compression ratio over every conv layer."""
+    reports = [r for r in walk_shapes(full_model_specs(name), (256, 3, 224, 224)) if r.is_conv]
+    raw_total = 0.0
+    stored_total = 0.0
+    for i, r in enumerate(reports):
+        _, c, h, w = r.in_shape
+        # first layer sees the raw image (dense); later layers post-ReLU,
+        # with sparsity rising with depth as in real CNNs (conv5 of
+        # AlexNet runs around R ~= 0.25-0.4)
+        x = smooth_activation(rng, (SAMPLE_BATCH, c, h, w), sigma=1.2, relu=False)
+        if i > 0:
+            x = np.maximum(x - min(0.1 * i, 0.5), 0)
+        eb = REL_EB * float(x.std() + 1e-12)
+        ct = comp.compress(x, error_bound=eb)
+        raw_total += r.saved_bytes
+        stored_total += r.saved_bytes / ct.compression_ratio
+    return raw_total / stored_total
+
+
+def test_table1_report(benchmark):
+    rng = np.random.default_rng(21)
+    comp = SZCompressor(entropy="huffman", zero_filter=True)
+    results = {}
+
+    def sweep():
+        for name in MODELS:
+            results[name] = measured_model_ratio(name, comp, rng)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        "Table 1 — conv activation size (batch 256) and compression ratio",
+        f"{'model':10s} {'act size (ours)':>16s} {'act size (paper)':>17s} "
+        f"{'ratio (ours)':>13s} {'ratio (paper)':>14s}",
+    ]
+    from repro.models import conv_activation_bytes
+
+    for name in MODELS:
+        mine = conv_activation_bytes(name, 256)
+        ref = PAPER_REFERENCE[name]
+        rows.append(
+            f"{name:10s} {human_bytes(mine):>16s} {human_bytes(ref.conv_act_bytes_baseline):>17s} "
+            f"{results[name]:>12.1f}x {ref.compression_ratio:>13.1f}x"
+        )
+    rows += [
+        "paper accuracy deltas (ImageNet): <= 0.31% — our scaled-training check",
+        "is in fig10_training_curve (delta ~0 at CPU scale).",
+        "shape: error-bounded lossy gives ~10x+, far above the ~2x lossless",
+        "ceiling and above the ~7x JPEG-ACT baseline (see bench_overhead).",
+    ]
+    write_report("table1_compression_ratio", rows)
+    for name in MODELS:
+        assert results[name] > 6.0  # way beyond lossless/JPEG class
+        assert results[name] == pytest.approx(PAPER_REFERENCE[name].compression_ratio, rel=0.6)

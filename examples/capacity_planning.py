@@ -1,0 +1,47 @@
+"""Capacity planning with the performance simulator (Figure 11's tool).
+
+For each model and device, report the largest batch that fits and the
+resulting throughput, with and without the compression framework — the
+decision a practitioner makes when a model doesn't fit their GPU.
+
+    python examples/capacity_planning.py
+"""
+
+from repro.simulator import (
+    BASELINE,
+    TrainingSimulator,
+    V100,
+    V100_32GB,
+    layrub_like,
+    our_policy,
+)
+
+MODELS = ["alexnet", "vgg16", "resnet18", "resnet50"]
+POLICIES = [("baseline", BASELINE), ("ours 11x", our_policy(11.0)), ("layrub", layrub_like())]
+
+
+def main():
+    for device in (V100, V100_32GB):
+        print(f"\n=== {device.name} ({device.mem_capacity / 1024**3:.0f} GB) ===")
+        header = f"{'model':10s} " + " ".join(f"{name:>22s}" for name, _ in POLICIES)
+        print(header)
+        print(" " * 11 + " ".join(f"{'maxN / img/s':>22s}" for _ in POLICIES))
+        for model in MODELS:
+            cells = []
+            for _, policy in POLICIES:
+                sim = TrainingSimulator(model, device, policy=policy)
+                mb = sim.max_batch()
+                thr = sim.simulate(mb).images_per_s if mb else 0.0
+                cells.append(f"{mb:>9d} / {thr:>8.0f}")
+            print(f"{model:10s} " + " ".join(f"{c:>22s}" for c in cells))
+
+        print("\nthroughput vs batch (resnet50, ours, 4 nodes x 4 GPUs):")
+        sim = TrainingSimulator("resnet50", device, policy=our_policy(11.0))
+        for b in (8, 32, 128, 256):
+            res = sim.simulate(b, workers=16)
+            tag = "" if res.fits else "  (does not fit)"
+            print(f"  N={b:<4d} {res.images_per_s:>8.0f} img/s{tag}")
+
+
+if __name__ == "__main__":
+    main()

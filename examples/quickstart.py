@@ -1,0 +1,55 @@
+"""Quickstart: train a small CNN with adaptive activation compression.
+
+Runs the same workload twice — plain baseline training and training with
+the paper's framework installed — and reports accuracy plus the
+activation-memory reduction the compressor delivered.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import AdaptiveConfig, CompressedTraining
+from repro.models import build_scaled_model
+from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+ITERATIONS = 80
+BATCH = 32
+
+
+def make_trainer(seed=42, compress=False):
+    net = build_scaled_model("alexnet", num_classes=8, image_size=32, rng=seed)
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9, weight_decay=5e-4)
+    trainer = Trainer(net, opt)
+    session = None
+    if compress:
+        # W is scaled down from the paper's 1000 because we run 80
+        # iterations, not 200k; everything else is the paper's defaults.
+        session = CompressedTraining(
+            net, opt, config=AdaptiveConfig(W=20, warmup_iterations=3)
+        ).attach(trainer)
+    return trainer, session
+
+
+def main():
+    dataset = SyntheticImageDataset(num_classes=8, image_size=32, signal=0.4, seed=7)
+    eval_x, eval_y = dataset.fixed_eval_set(384)
+
+    print(f"training scaled AlexNet for {ITERATIONS} iterations (batch {BATCH})...")
+    base_trainer, _ = make_trainer(compress=False)
+    base_trainer.train(batches(dataset, BATCH, ITERATIONS, seed=1))
+    base_acc = base_trainer.evaluate(eval_x, eval_y)
+
+    comp_trainer, session = make_trainer(compress=True)
+    comp_trainer.train(batches(dataset, BATCH, ITERATIONS, seed=1))
+    comp_acc = comp_trainer.evaluate(eval_x, eval_y)
+
+    print(f"\nbaseline   accuracy: {base_acc:.3f}")
+    print(f"compressed accuracy: {comp_acc:.3f}")
+    print(f"activation memory reduction: {session.tracker.overall_ratio:.1f}x")
+    print("\nper-layer adaptive error bounds (Eq. 9):")
+    for name, eb in sorted(session.error_bounds.items()):
+        ratio = session.compression_ratios.get(name, float("nan"))
+        print(f"  {name:24s} eb = {eb:9.3e}   ratio = {ratio:5.1f}x")
+
+
+if __name__ == "__main__":
+    main()

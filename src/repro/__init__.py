@@ -1,0 +1,43 @@
+"""repro — reproduction of "A Novel Memory-Efficient Deep Learning Training
+Framework via Error-Bounded Lossy Compression" (Jin et al., PPoPP 2021).
+
+Subpackages
+-----------
+``repro.compression``
+    SZ/cuSZ-style error-bounded lossy compressor (Lorenzo + dual
+    quantization + Huffman) plus JPEG-like and lossless baselines.
+``repro.nn``
+    From-scratch NumPy DNN training substrate with a pluggable
+    saved-tensor context (the compression interception point).
+``repro.models``
+    AlexNet / VGG-16 / ResNet-18 / ResNet-50: full-scale specs for
+    memory accounting and scaled trainable variants.
+``repro.core``
+    The paper's contribution: error-propagation model (Eqs. 6-9),
+    gradient assessment, adaptive error-bound controller, and the
+    :class:`~repro.core.framework.CompressedTraining` session.
+``repro.simulator``
+    Roofline GPU cost model, interconnect models, and the throughput
+    simulator behind Figure 11 and the overhead analysis.
+``repro.analysis``
+    Error-injection methodology and distribution diagnostics
+    (Figures 3, 6, 8, 9).
+
+Quick start::
+
+    from repro.nn import SGD, Trainer, SyntheticImageDataset, batches
+    from repro.models import build_scaled_model
+    from repro.core import CompressedTraining
+
+    net = build_scaled_model("alexnet", num_classes=8)
+    opt = SGD(net.parameters(), lr=0.02, momentum=0.9)
+    trainer = Trainer(net, opt)
+    session = CompressedTraining(net, opt).attach(trainer)
+    ds = SyntheticImageDataset(num_classes=8)
+    trainer.train(batches(ds, batch_size=32, num_batches=100))
+    print(session.tracker.overall_ratio)  # activation memory reduction
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

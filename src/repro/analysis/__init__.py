@@ -1,0 +1,21 @@
+"""Error-injection experiments and distribution diagnostics."""
+
+from repro.analysis.error_injection import (
+    GradientErrorInjector,
+    conv_gradient_error_sample,
+    inject_uniform_error,
+)
+from repro.analysis.distributions import (
+    DistributionReport,
+    describe_sample,
+    sigma_within_fraction,
+)
+
+__all__ = [
+    "GradientErrorInjector",
+    "conv_gradient_error_sample",
+    "inject_uniform_error",
+    "DistributionReport",
+    "describe_sample",
+    "sigma_within_fraction",
+]

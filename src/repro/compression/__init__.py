@@ -1,0 +1,35 @@
+"""Compression substrate: SZ-style error-bounded compressor plus baselines."""
+
+from repro.compression.szlike import SZCompressor, CompressedTensor
+from repro.compression.jpeg_like import JpegLikeCompressor, JpegCompressedTensor
+from repro.compression.lossless import (
+    DeflateCompressor,
+    SparseLosslessCompressor,
+    LosslessCompressedTensor,
+)
+from repro.compression.metrics import (
+    compression_ratio,
+    error_stats,
+    max_abs_error,
+    mse,
+    normality_pvalue,
+    psnr,
+    uniformity_pvalue,
+)
+
+__all__ = [
+    "SZCompressor",
+    "CompressedTensor",
+    "JpegLikeCompressor",
+    "JpegCompressedTensor",
+    "DeflateCompressor",
+    "SparseLosslessCompressor",
+    "LosslessCompressedTensor",
+    "compression_ratio",
+    "error_stats",
+    "max_abs_error",
+    "mse",
+    "normality_pvalue",
+    "psnr",
+    "uniformity_pvalue",
+]

@@ -1,0 +1,277 @@
+"""End-to-end SZ/cuSZ-style error-bounded lossy compressor.
+
+Pipeline (cuSZ, Tian et al. 2020, as used by the paper):
+
+    float tensor
+      --(dual-quantization, pitch 2*eb)-->  int grid indices
+      --(Lorenzo prediction)-->             residuals
+      --(linear-scaling codes + outliers)-> bounded quantization codes
+      --(canonical Huffman / DEFLATE)-->    compressed payload
+
+Decompression inverts each stage; the absolute error bound
+
+    |x - decompress(compress(x))| <= eb
+
+holds by construction of the dual-quantization stage (exactly in the
+quantizer's float64 arithmetic; casting the reconstruction back to the
+input dtype can add at most one ulp of the data magnitude on top, the
+same caveat real cuSZ carries).
+
+The paper's Section 4.4 modification — a decompression-side filter that
+re-zeroes any reconstructed value with ``|x'| <= eb`` so that
+ReLU-produced zeros are never turned into small non-zero values — is
+implemented via ``zero_filter=True`` (the default, as in the paper).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.szlike.huffman import (
+    HuffmanCodebook,
+    build_codebook,
+    entropy_bits,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.compression.szlike.lorenzo import lorenzo_decode, lorenzo_encode
+from repro.compression.szlike.quantizer import (
+    QuantizedResiduals,
+    codes_from_residuals,
+    prequantize,
+    reconstruct,
+    residuals_from_codes,
+)
+
+__all__ = ["SZCompressor", "CompressedTensor", "HEADER_BYTES"]
+
+# Fixed serialization overhead we charge per compressed tensor (shape,
+# dtype tag, error bound, counts); matches cuSZ's on-GPU header scale.
+HEADER_BYTES = 64
+
+_ENTROPY_STAGES = ("huffman", "zlib", "huffman+zlib", "none")
+
+
+def _pack_outliers(outliers: np.ndarray) -> np.ndarray:
+    """Store outlier residuals in the narrowest safe integer dtype."""
+    if outliers.size == 0:
+        return outliers.astype(np.int32)
+    lo, hi = int(outliers.min()), int(outliers.max())
+    if np.iinfo(np.int32).min <= lo and hi <= np.iinfo(np.int32).max:
+        return outliers.astype(np.int32)
+    return outliers.astype(np.int64)
+
+
+@dataclass
+class CompressedTensor:
+    """Opaque compressed representation of one activation tensor."""
+
+    shape: tuple
+    dtype: str
+    error_bound: float
+    radius: int
+    lorenzo_ndim: int
+    entropy: str
+    payload: bytes
+    total_bits: int
+    count: int
+    outliers: np.ndarray
+    chunk_offsets: Optional[np.ndarray] = None
+    codebook: Optional[HuffmanCodebook] = None
+    zero_filter: bool = True
+    raw_codes_dtype: str = "uint16"
+
+    @property
+    def original_nbytes(self) -> int:
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize if self.shape else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed footprint: payload + outliers + codebook + header."""
+        n = len(self.payload) + self.outliers.nbytes + HEADER_BYTES
+        if self.codebook is not None:
+            n += self.codebook.nbytes
+        if self.chunk_offsets is not None:
+            n += self.chunk_offsets.size * 4  # stored as uint32 bit offsets
+        return n
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_nbytes / self.nbytes if self.nbytes else 0.0
+
+
+class SZCompressor:
+    """Error-bounded lossy compressor for floating-point tensors.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute error bound (``mode='abs'``) or value-range-relative
+        bound (``mode='rel'``, resolved per tensor at compress time).
+    dict_size:
+        Quantization-code alphabet size (cuSZ default 1024 -> radius 512).
+    lorenzo_ndim:
+        Number of trailing axes covered by the Lorenzo predictor
+        (2 treats ``(N, C, H, W)`` activations as per-map 2-D fields).
+    entropy:
+        Final entropy stage: ``'huffman'`` (faithful to cuSZ),
+        ``'zlib'`` (fast DEFLATE over the code stream, analogous to SZ's
+        zstd stage), ``'huffman+zlib'``, or ``'none'``.
+    zero_filter:
+        Apply the paper's Section 4.4 re-zeroing filter at decompression.
+    """
+
+    def __init__(
+        self,
+        error_bound: float = 1e-3,
+        *,
+        mode: str = "abs",
+        dict_size: int = 1024,
+        lorenzo_ndim: int = 2,
+        entropy: str = "huffman",
+        zero_filter: bool = True,
+        zlib_level: int = 1,
+        emulate_zero_drift: bool = False,
+        rng=None,
+    ):
+        if mode not in ("abs", "rel"):
+            raise ValueError(f"mode must be 'abs' or 'rel', got {mode!r}")
+        if error_bound <= 0:
+            raise ValueError(f"error bound must be positive, got {error_bound}")
+        if dict_size < 4 or dict_size & (dict_size - 1):
+            raise ValueError(f"dict_size must be a power of two >= 4, got {dict_size}")
+        if entropy not in _ENTROPY_STAGES:
+            raise ValueError(f"entropy must be one of {_ENTROPY_STAGES}, got {entropy!r}")
+        self.error_bound = float(error_bound)
+        self.mode = mode
+        self.dict_size = int(dict_size)
+        self.radius = self.dict_size // 2
+        self.lorenzo_ndim = int(lorenzo_ndim)
+        self.entropy = entropy
+        self.zero_filter = bool(zero_filter)
+        self.zlib_level = int(zlib_level)
+        # Unmodified cuSZ reconstructs runs of zeros as small values within
+        # the error bound (the pathology motivating the Section 4.4 filter).
+        # Our integer pipeline reconstructs zeros exactly, so the pathology
+        # can be *emulated* for ablation studies: zero grid points are
+        # perturbed uniformly within +-eb (error bound still honored).
+        self.emulate_zero_drift = bool(emulate_zero_drift)
+        from repro.utils.rng import ensure_rng
+
+        self._rng = ensure_rng(rng)
+
+    # -- helpers ---------------------------------------------------------
+    def _resolve_eb(self, x: np.ndarray) -> float:
+        if self.mode == "abs":
+            return self.error_bound
+        vrange = float(x.max() - x.min()) if x.size else 0.0
+        return self.error_bound * vrange if vrange > 0 else self.error_bound
+
+    def _effective_ndim(self, x: np.ndarray) -> int:
+        return max(1, min(self.lorenzo_ndim, x.ndim))
+
+    # -- API -------------------------------------------------------------
+    def compress(self, x: np.ndarray, error_bound: Optional[float] = None) -> CompressedTensor:
+        """Compress *x* under the (per-call overridable) error bound."""
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.floating):
+            raise TypeError(f"SZCompressor expects floating-point input, got {x.dtype}")
+        if x.size == 0:
+            raise ValueError("cannot compress an empty tensor")
+        if not np.all(np.isfinite(x)):
+            raise ValueError("input contains non-finite values")
+        eb = float(error_bound) if error_bound is not None else self._resolve_eb(x)
+        if eb <= 0:
+            raise ValueError(f"resolved error bound must be positive, got {eb}")
+        ndim = self._effective_ndim(x)
+
+        q = prequantize(x, eb)
+        delta = lorenzo_encode(q, ndim)
+        qr = codes_from_residuals(delta, self.radius)
+
+        codebook = None
+        total_bits = 0
+        chunk_offsets = None
+        if self.entropy in ("huffman", "huffman+zlib"):
+            codebook = build_codebook(qr.codes, self.dict_size)
+            payload, total_bits, chunk_offsets = huffman_encode(qr.codes, codebook)
+            if self.entropy == "huffman+zlib":
+                payload = zlib.compress(payload, self.zlib_level)
+        elif self.entropy == "zlib":
+            payload = zlib.compress(qr.codes.tobytes(), self.zlib_level)
+        else:  # 'none'
+            payload = qr.codes.tobytes()
+
+        return CompressedTensor(
+            shape=x.shape,
+            dtype=str(x.dtype),
+            error_bound=eb,
+            radius=self.radius,
+            lorenzo_ndim=ndim,
+            entropy=self.entropy,
+            payload=payload,
+            total_bits=total_bits,
+            count=int(qr.codes.size),
+            outliers=_pack_outliers(qr.outliers),
+            chunk_offsets=chunk_offsets,
+            codebook=codebook,
+            zero_filter=self.zero_filter,
+            raw_codes_dtype=str(qr.codes.dtype),
+        )
+
+    def decompress(self, ct: CompressedTensor) -> np.ndarray:
+        """Reconstruct the tensor; max abs error is ``ct.error_bound``."""
+        if ct.entropy in ("huffman", "huffman+zlib"):
+            payload = ct.payload
+            if ct.entropy == "huffman+zlib":
+                payload = zlib.decompress(payload)
+            codes = huffman_decode(
+                payload, ct.total_bits, ct.count, ct.codebook, chunk_offsets=ct.chunk_offsets
+            )
+        elif ct.entropy == "zlib":
+            codes = np.frombuffer(zlib.decompress(ct.payload), dtype=ct.raw_codes_dtype)
+        else:
+            codes = np.frombuffer(ct.payload, dtype=ct.raw_codes_dtype)
+
+        qr = QuantizedResiduals(
+            codes=codes.astype(np.uint32),
+            outliers=ct.outliers.astype(np.int64),
+            radius=ct.radius,
+            shape=ct.shape,
+        )
+        delta = residuals_from_codes(qr)
+        q = lorenzo_decode(delta, ct.lorenzo_ndim)
+        x = reconstruct(q, ct.error_bound, dtype=np.dtype(ct.dtype))
+        if self.emulate_zero_drift:
+            zeros = q == 0
+            n_zero = int(zeros.sum())
+            if n_zero:
+                drift = self._rng.uniform(-ct.error_bound, ct.error_bound, n_zero)
+                x[zeros] = drift.astype(x.dtype)
+        if ct.zero_filter:
+            # Paper Section 4.4: re-zero anything within the error bound so
+            # ReLU zeros survive compression exactly.
+            x[np.abs(x) <= ct.error_bound] = 0
+        return x
+
+    def roundtrip(self, x: np.ndarray, error_bound: Optional[float] = None) -> np.ndarray:
+        """Convenience: decompress(compress(x))."""
+        return self.decompress(self.compress(x, error_bound))
+
+    def estimate_compressed_nbytes(self, x: np.ndarray, error_bound: Optional[float] = None) -> float:
+        """Entropy-based size estimate (no bitstream materialization).
+
+        Used by the adaptive controller's monitoring path where only the
+        expected ratio is needed.
+        """
+        x = np.asarray(x)
+        eb = float(error_bound) if error_bound is not None else self._resolve_eb(x)
+        q = prequantize(x, eb)
+        delta = lorenzo_encode(q, self._effective_ndim(x))
+        qr = codes_from_residuals(delta, self.radius)
+        bits = entropy_bits(qr.codes, self.dict_size)
+        return bits / 8.0 + qr.outliers.size * 4 + HEADER_BYTES

@@ -1,0 +1,104 @@
+"""Byte-level serialization of compressed tensors.
+
+``CompressedTensor.nbytes`` is an accounting estimate; this module makes
+it concrete: a compressed tensor becomes one self-describing byte string
+(JSON header + binary sections) that can be written to disk, shipped over
+a socket, or held in a byte arena — what an actual deployment of the
+framework would store instead of live Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.compression.szlike.compressor import CompressedTensor
+from repro.compression.szlike.huffman import HuffmanCodebook
+
+__all__ = ["dumps", "loads"]
+
+_MAGIC = b"SZRP"
+_VERSION = 1
+
+
+def dumps(ct: CompressedTensor) -> bytes:
+    """Serialize *ct* to a self-describing byte string."""
+    header = {
+        "v": _VERSION,
+        "shape": list(ct.shape),
+        "dtype": ct.dtype,
+        "eb": ct.error_bound,
+        "radius": ct.radius,
+        "lorenzo_ndim": ct.lorenzo_ndim,
+        "entropy": ct.entropy,
+        "total_bits": ct.total_bits,
+        "count": ct.count,
+        "zero_filter": ct.zero_filter,
+        "raw_codes_dtype": ct.raw_codes_dtype,
+        "outlier_dtype": str(ct.outliers.dtype),
+        "outlier_count": int(ct.outliers.size),
+        "has_codebook": ct.codebook is not None,
+        "chunk_count": 0 if ct.chunk_offsets is None else int(ct.chunk_offsets.size),
+    }
+    hbytes = json.dumps(header, separators=(",", ":")).encode()
+    parts = [_MAGIC, struct.pack("<I", len(hbytes)), hbytes]
+    parts.append(struct.pack("<Q", len(ct.payload)))
+    parts.append(ct.payload)
+    parts.append(ct.outliers.tobytes())
+    if ct.chunk_offsets is not None:
+        parts.append(ct.chunk_offsets.astype(np.int64).tobytes())
+    if ct.codebook is not None:
+        parts.append(ct.codebook.lengths.astype(np.uint8).tobytes())
+    return b"".join(parts)
+
+
+def loads(data: bytes) -> CompressedTensor:
+    """Inverse of :func:`dumps`."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a serialized compressed tensor (bad magic)")
+    (hlen,) = struct.unpack_from("<I", data, 4)
+    pos = 8
+    header = json.loads(data[pos : pos + hlen].decode())
+    pos += hlen
+    if header["v"] != _VERSION:
+        raise ValueError(f"unsupported version {header['v']}")
+    (plen,) = struct.unpack_from("<Q", data, pos)
+    pos += 8
+    payload = bytes(data[pos : pos + plen])
+    pos += plen
+    odt = np.dtype(header["outlier_dtype"])
+    osz = header["outlier_count"] * odt.itemsize
+    outliers = np.frombuffer(data[pos : pos + osz], dtype=odt).copy()
+    pos += osz
+    chunk_offsets = None
+    if header["chunk_count"]:
+        csz = header["chunk_count"] * 8
+        chunk_offsets = np.frombuffer(data[pos : pos + csz], dtype=np.int64).copy()
+        pos += csz
+    codebook = None
+    if header["has_codebook"]:
+        # alphabet size = 2 * radius quantization codes
+        asz = 2 * header["radius"]
+        lengths = np.frombuffer(data[pos : pos + asz], dtype=np.uint8).copy()
+        pos += asz
+        codebook = HuffmanCodebook.from_lengths(lengths)
+    if pos != len(data):
+        raise ValueError(f"trailing bytes in serialized tensor ({len(data) - pos})")
+    return CompressedTensor(
+        shape=tuple(header["shape"]),
+        dtype=header["dtype"],
+        error_bound=header["eb"],
+        radius=header["radius"],
+        lorenzo_ndim=header["lorenzo_ndim"],
+        entropy=header["entropy"],
+        payload=payload,
+        total_bits=header["total_bits"],
+        count=header["count"],
+        outliers=outliers,
+        chunk_offsets=chunk_offsets,
+        codebook=codebook,
+        zero_filter=header["zero_filter"],
+        raw_codes_dtype=header["raw_codes_dtype"],
+    )

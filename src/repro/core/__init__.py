@@ -1,0 +1,34 @@
+"""The paper's contribution: adaptive error-bounded activation compression."""
+
+from repro.core.error_model import (
+    PAPER_COEFFICIENT_A,
+    THEORY_COEFFICIENT_A,
+    error_bound_for_sigma,
+    fit_coefficient,
+    predict_sigma,
+)
+from repro.core.gradient_assessment import GradientAssessor
+from repro.core.memory_tracker import LayerMemoryRecord, MemoryTracker
+from repro.core.activation_store import CompressingContext, PackedActivation
+from repro.core.adaptive import AdaptiveConfig, AdaptiveController
+from repro.core.framework import CompressedTraining
+from repro.core.policies import CodecPolicy, FixedBoundSZPolicy, RawPolicy
+
+__all__ = [
+    "PAPER_COEFFICIENT_A",
+    "THEORY_COEFFICIENT_A",
+    "error_bound_for_sigma",
+    "fit_coefficient",
+    "predict_sigma",
+    "GradientAssessor",
+    "LayerMemoryRecord",
+    "MemoryTracker",
+    "CompressingContext",
+    "PackedActivation",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "CompressedTraining",
+    "CodecPolicy",
+    "FixedBoundSZPolicy",
+    "RawPolicy",
+]

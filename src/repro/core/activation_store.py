@@ -1,0 +1,110 @@
+"""Compressed activation storage: the saved-tensor context the framework
+installs on convolutional layers (Section 4.4, "adaptive compression").
+
+``pack`` runs during the forward pass: the activation is compressed with
+the layer's current error bound and only the compressed representation is
+retained.  ``unpack`` runs when backpropagation reaches the layer again
+and decompresses.  Per-layer error bounds are owned by the adaptive
+controller; this class is the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compression.szlike import CompressedTensor, SZCompressor
+from repro.core.memory_tracker import MemoryTracker
+from repro.nn.layers.base import Layer, SavedTensorContext
+
+__all__ = ["CompressingContext", "PackedActivation"]
+
+
+@dataclass
+class PackedActivation:
+    """Handle stored in place of the raw activation tensor."""
+
+    compressed: CompressedTensor
+    raw_nbytes: int
+    nonzero_ratio: float
+
+
+class CompressingContext(SavedTensorContext):
+    """Saved-tensor context that compresses 4-D activations on pack.
+
+    Parameters
+    ----------
+    compressor:
+        The :class:`SZCompressor` (or API-compatible codec).
+    initial_rel_eb:
+        Until the controller assigns a layer an absolute bound, the first
+        pack resolves ``eb = initial_rel_eb * value_range`` — a
+        conservative warm-up choice.
+    tracker:
+        Optional :class:`MemoryTracker` for accounting.
+    """
+
+    def __init__(
+        self,
+        compressor: Optional[SZCompressor] = None,
+        initial_rel_eb: float = 1e-3,
+        tracker: Optional[MemoryTracker] = None,
+    ):
+        self.compressor = compressor or SZCompressor(error_bound=1e-3, entropy="huffman")
+        if initial_rel_eb <= 0:
+            raise ValueError("initial_rel_eb must be positive")
+        self.initial_rel_eb = float(initial_rel_eb)
+        self.tracker = tracker or MemoryTracker()
+        #: layers whose saved input is a ReLU output: after decompression
+        #: the activation function is recomputed (``max(x, 0)``), the
+        #: paper's first zero-preservation mechanism (Section 4.4) — it
+        #: restores exact zeros even when the codec drifts them.
+        self.relu_recompute_layers: set = set()
+        #: per-layer absolute error bounds, written by the controller
+        self.error_bounds: Dict[str, float] = {}
+        #: per-layer nonzero ratio R observed at the latest pack
+        self.observed_nonzero: Dict[str, float] = {}
+        #: per-layer latest achieved compression ratio
+        self.observed_ratio: Dict[str, float] = {}
+        self.enabled = True
+
+    def resolve_error_bound(self, layer: Layer, arr: np.ndarray) -> float:
+        eb = self.error_bounds.get(layer.name)
+        if eb is not None:
+            return eb
+        vrange = float(arr.max() - arr.min())
+        eb = self.initial_rel_eb * vrange if vrange > 0 else self.initial_rel_eb
+        self.error_bounds[layer.name] = eb
+        return eb
+
+    # -- SavedTensorContext interface --------------------------------------
+    def pack(self, layer: Layer, key: str, arr: np.ndarray):
+        if not self.enabled or not isinstance(arr, np.ndarray) or arr.ndim != 4:
+            return arr
+        eb = self.resolve_error_bound(layer, arr)
+        ct = self.compressor.compress(arr, error_bound=eb)
+        nz = float(np.count_nonzero(arr)) / arr.size
+        self.observed_nonzero[layer.name] = nz
+        self.observed_ratio[layer.name] = ct.compression_ratio
+        self.tracker.record_pack(layer.name, arr.nbytes, ct.nbytes)
+        return PackedActivation(compressed=ct, raw_nbytes=arr.nbytes, nonzero_ratio=nz)
+
+    def unpack(self, layer: Layer, key: str, handle) -> np.ndarray:
+        if not isinstance(handle, PackedActivation):
+            return handle
+        out = self.compressor.decompress(handle.compressed)
+        if layer.name in self.relu_recompute_layers:
+            # Recompute the activation function (Section 4.4): negative
+            # drift is erased by the ReLU; positive drift is bounded by
+            # eb and true values <= eb quantize to the zero grid point,
+            # so clamping the sub-eb band restores exact zeros.
+            np.maximum(out, 0, out=out)
+            out[out <= handle.compressed.error_bound] = 0
+        self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+        return out
+
+    def discard(self, layer: Layer, key: str, handle) -> None:
+        if isinstance(handle, PackedActivation):
+            self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)

@@ -1,0 +1,111 @@
+"""Adaptive compression configuration (Sections 4.1-4.3).
+
+Every ``W`` iterations (default 1000, the paper's "active factor") the
+controller refreshes its view of the training status — per-layer loss
+magnitude L_bar, activation sparsity R, and momentum magnitude — and
+re-derives each convolutional layer's absolute error bound:
+
+    sigma = sigma_fraction * M_average          (Eq. 8, gradient assessment)
+    eb    = sigma / (a * L_rms * sqrt(M * R))   (Eq. 9, activation assessment)
+
+with M the combined element count (batch x conv output positions) — see
+:mod:`repro.core.error_model` for why the rms convention makes the
+coefficient exact.
+
+A short warm-up collects every iteration so compression starts from
+measured statistics rather than guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.activation_store import CompressingContext
+from repro.core.error_model import THEORY_COEFFICIENT_A, error_bound_for_sigma
+from repro.core.gradient_assessment import GradientAssessor
+
+__all__ = ["AdaptiveConfig", "AdaptiveController"]
+
+
+@dataclass
+class AdaptiveConfig:
+    """Knobs of the adaptive scheme, defaulting to the paper's choices."""
+
+    W: int = 1000  # parameter-collection interval (Section 4.1)
+    sigma_fraction: float = 0.01  # Eq. 8 budget (Figure 9 study)
+    coefficient: float = THEORY_COEFFICIENT_A  # exact rms convention
+    initial_rel_eb: float = 1e-3  # warm-up eb as fraction of value range
+    warmup_iterations: int = 5  # collect every iteration at the start
+    eb_min: float = 1e-10
+    eb_max: float = 10.0
+    min_nonzero_ratio: float = 1e-3  # guard against R -> 0 blow-up
+
+    def __post_init__(self):
+        if self.W < 1:
+            raise ValueError(f"W must be >= 1, got {self.W}")
+        if not 0 < self.sigma_fraction < 1:
+            raise ValueError("sigma_fraction must be in (0, 1)")
+        if self.eb_min <= 0 or self.eb_max <= self.eb_min:
+            raise ValueError("need 0 < eb_min < eb_max")
+
+
+class AdaptiveController:
+    """Owns per-layer error bounds; consumes collected statistics."""
+
+    def __init__(
+        self,
+        config: AdaptiveConfig,
+        assessor: GradientAssessor,
+        ctx: CompressingContext,
+    ):
+        self.config = config
+        self.assessor = assessor
+        self.ctx = ctx
+        #: latest rms |dL/dout| per conv layer (the paper's L_bar in the
+        #: exact rms convention)
+        self.loss_scales: Dict[str, float] = {}
+        #: latest combined element count per layer (batch x Ho x Wo)
+        self.combined_elements: Dict[str, int] = {}
+        self.updates = 0
+
+    def should_collect(self, iteration: int) -> bool:
+        """Collect semi-online parameters this iteration? (Section 4.1)"""
+        if iteration < self.config.warmup_iterations:
+            return True
+        return iteration % self.config.W == 0
+
+    def record_loss(self, layer_name: str, dout: np.ndarray) -> None:
+        d = dout.astype(np.float64)
+        self.loss_scales[layer_name] = float(np.sqrt((d * d).mean()))
+        n, _, ho, wo = dout.shape
+        self.combined_elements[layer_name] = int(n * ho * wo)
+
+    def update_error_bounds(self, conv_params: Dict[str, "Parameter"]) -> Dict[str, float]:
+        """Refresh every known layer's error bound from current statistics.
+
+        Returns the new per-layer bounds (also installed into the
+        compressing context for the next forward pass).
+        """
+        cfg = self.config
+        new_bounds: Dict[str, float] = {}
+        for name, lscale in self.loss_scales.items():
+            param = conv_params.get(name)
+            sigma = self.assessor.sigma_budget(param)
+            if sigma <= 0:
+                # momentum not yet populated (first iterations)
+                sigma = self.assessor.gradient_fallback_budget(param)
+            if sigma <= 0 or lscale <= 0:
+                continue  # keep current bound; no usable signal this round
+            m = self.combined_elements.get(name, 1)
+            r = max(self.ctx.observed_nonzero.get(name, 1.0), cfg.min_nonzero_ratio)
+            eb = error_bound_for_sigma(
+                sigma, lscale, m, nonzero_ratio=r, coefficient=cfg.coefficient
+            )
+            eb = float(np.clip(eb, cfg.eb_min, cfg.eb_max))
+            new_bounds[name] = eb
+            self.ctx.error_bounds[name] = eb
+        self.updates += 1
+        return new_bounds

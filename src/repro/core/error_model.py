@@ -1,0 +1,134 @@
+"""The paper's error-propagation model (Section 3.2, Eqs. 6-7 and 9).
+
+Uniform compression error ``e ~ U(-eb, +eb)`` on the activation data
+enters each weight-gradient element as a weighted sum ``E = sum_j e_j L_j``
+(Eq. 3); the sum runs over every (batch, output-position) pair the
+element accumulates — ``M = N * Ho * Wo`` terms.  By the CLT the gradient
+error is normal with
+
+    sigma = a * L_scale * sqrt(M) * eb * sqrt(R)     (Eqs. 6-7)
+
+where ``R`` is the non-zero activation ratio when zeros are preserved
+through compression (the Section 4.4 filter), and 1 otherwise.
+
+Two coefficient conventions coexist:
+
+* **Exact / rms convention** (used by the controller): ``L_scale`` is the
+  rms of the loss tensor reaching the layer; then ``a = 1/sqrt(3)``
+  *exactly* (std of U(-1, 1)) for every layer of every network —
+  this is the strongest form of the paper's claim that the coefficient
+  "is unchanged for different neural networks".
+* **Paper / mean-abs convention**: ``L_scale`` is the mean |loss| and
+  ``a`` is fitted empirically; the paper reports 0.32.  The ratio of the
+  two conventions is rms/mean of the loss distribution.  The Figure 8
+  benchmark fits this coefficient and checks its stability.
+
+Note the paper's Eq. 6 prose writes ``sqrt(N)`` (batch only), but its
+Section 4.1 collects "activation data size of each convolutional layer
+and the size of its output layer ... because they affect the number of
+elements combined into each value in the gradient"; the combined count
+``M`` is what the statistics actually depend on, and what we use.
+
+Inverting for the controller (Eq. 9):
+
+    eb = sigma / (a * L_scale * sqrt(M * R))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PAPER_COEFFICIENT_A",
+    "THEORY_COEFFICIENT_A",
+    "predict_sigma",
+    "error_bound_for_sigma",
+    "fit_coefficient",
+]
+
+#: The paper's empirically identified coefficient, mean-abs-loss convention
+#: (Section 5.2).
+PAPER_COEFFICIENT_A = 0.32
+
+#: Exact coefficient under the rms-loss convention: std of U(-1, 1).
+THEORY_COEFFICIENT_A = 1.0 / np.sqrt(3.0)
+
+
+def predict_sigma(
+    error_bound: float,
+    loss_scale: float,
+    combined_elements: int,
+    nonzero_ratio: float = 1.0,
+    coefficient: float = THEORY_COEFFICIENT_A,
+) -> float:
+    """Predicted gradient-error sigma (Eqs. 6-7).
+
+    ``combined_elements`` is ``batch * output_positions`` for a conv
+    layer; ``loss_scale`` is rms(|L|) (exact convention) or mean|L|
+    (paper convention, with the matching empirical coefficient).
+    """
+    _check(error_bound, loss_scale, combined_elements, nonzero_ratio, coefficient)
+    return (
+        coefficient
+        * loss_scale
+        * np.sqrt(combined_elements)
+        * error_bound
+        * np.sqrt(nonzero_ratio)
+    )
+
+
+def error_bound_for_sigma(
+    sigma: float,
+    loss_scale: float,
+    combined_elements: int,
+    nonzero_ratio: float = 1.0,
+    coefficient: float = THEORY_COEFFICIENT_A,
+) -> float:
+    """Error bound achieving a target gradient-error sigma (Eq. 9)."""
+    if sigma <= 0:
+        raise ValueError(f"target sigma must be positive, got {sigma}")
+    _check(1.0, loss_scale, combined_elements, nonzero_ratio, coefficient)
+    if loss_scale == 0:
+        raise ValueError("loss_scale is zero; layer receives no gradient signal")
+    return sigma / (coefficient * loss_scale * np.sqrt(combined_elements * nonzero_ratio))
+
+
+def fit_coefficient(
+    measured_sigmas,
+    error_bounds,
+    loss_scales,
+    combined_elements,
+    nonzero_ratios=None,
+) -> float:
+    """Least-squares fit of ``a`` from measured gradient-error sigmas.
+
+    This is how the paper identifies a = 0.32: regress sigma against
+    ``L_scale * sqrt(M * R) * eb`` with zero intercept.
+    """
+    s = np.asarray(measured_sigmas, dtype=np.float64)
+    x = (
+        np.asarray(loss_scales, dtype=np.float64)
+        * np.sqrt(np.asarray(combined_elements, dtype=np.float64))
+        * np.asarray(error_bounds, dtype=np.float64)
+    )
+    if nonzero_ratios is not None:
+        x = x * np.sqrt(np.asarray(nonzero_ratios, dtype=np.float64))
+    if s.shape != x.shape or s.size == 0:
+        raise ValueError("inputs must be equal-length non-empty arrays")
+    denom = float(np.dot(x, x))
+    if denom == 0:
+        raise ValueError("degenerate fit: all predictors are zero")
+    return float(np.dot(x, s) / denom)
+
+
+def _check(eb, lscale, m, r, a):
+    if eb <= 0:
+        raise ValueError(f"error bound must be positive, got {eb}")
+    if lscale < 0:
+        raise ValueError(f"loss_scale must be non-negative, got {lscale}")
+    if m < 1:
+        raise ValueError(f"combined element count must be >= 1, got {m}")
+    if not 0.0 < r <= 1.0:
+        raise ValueError(f"nonzero ratio must be in (0, 1], got {r}")
+    if a <= 0:
+        raise ValueError(f"coefficient must be positive, got {a}")

@@ -1,0 +1,57 @@
+"""Gradient assessment (Section 4.2, Eq. 8).
+
+The acceptable gradient-error sigma is budgeted as a fixed fraction
+(1 % by default, the paper's choice after the Figure 9 study showed
+5 % diverges and 2 % is marginal) of the average momentum magnitude:
+
+    sigma = 0.01 * M_average
+
+Momentum is used rather than the raw gradient because the momentum
+vector is what actually steers the weight update, and its normally
+distributed error averages out across iterations (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Parameter
+from repro.nn.optim import SGD
+
+__all__ = ["GradientAssessor"]
+
+
+@dataclass
+class GradientAssessor:
+    """Computes per-layer sigma budgets from optimizer momentum state."""
+
+    optimizer: SGD
+    sigma_fraction: float = 0.01  # the paper's default (Figure 9)
+
+    def __post_init__(self):
+        if not 0.0 < self.sigma_fraction < 1.0:
+            raise ValueError(
+                f"sigma fraction must be in (0, 1), got {self.sigma_fraction}"
+            )
+
+    def sigma_budget(self, param: Optional[Parameter] = None) -> float:
+        """Target sigma: fraction of mean |momentum| (per-layer if *param*
+        given, global average otherwise)."""
+        if param is None:
+            m_avg = self.optimizer.average_momentum_magnitude()
+        else:
+            v = self.optimizer.momentum_buffer(param)
+            m_avg = float(np.abs(v).mean())
+        return self.sigma_fraction * m_avg
+
+    def gradient_fallback_budget(self, param: Optional[Parameter] = None) -> float:
+        """Before momentum has accumulated (first iterations), budget
+        against the gradient magnitude instead."""
+        if param is None:
+            g_avg = self.optimizer.average_gradient_magnitude()
+        else:
+            g_avg = float(np.abs(param.grad).mean())
+        return self.sigma_fraction * g_avg

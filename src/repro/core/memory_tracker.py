@@ -1,0 +1,76 @@
+"""Per-layer memory accounting for saved activations.
+
+Tracks, per training iteration, the raw bytes each layer would have kept
+resident (baseline training) versus the bytes actually stored under the
+active memory policy — the quantities behind Table 1 and Figure 10's
+compression-ratio curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["LayerMemoryRecord", "MemoryTracker"]
+
+
+@dataclass
+class LayerMemoryRecord:
+    layer_name: str
+    raw_bytes: int = 0
+    stored_bytes: int = 0
+    packs: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.stored_bytes if self.stored_bytes else 0.0
+
+
+class MemoryTracker:
+    """Accumulates raw-vs-stored byte counts per layer and per iteration."""
+
+    def __init__(self):
+        self.per_layer: Dict[str, LayerMemoryRecord] = {}
+        self._iter_raw = 0
+        self._iter_stored = 0
+        self.iteration_ratios: List[float] = []
+        self.peak_raw_bytes = 0
+        self.peak_stored_bytes = 0
+        self._live_raw = 0
+        self._live_stored = 0
+
+    def record_pack(self, layer_name: str, raw_bytes: int, stored_bytes: int) -> None:
+        rec = self.per_layer.setdefault(layer_name, LayerMemoryRecord(layer_name))
+        rec.raw_bytes += raw_bytes
+        rec.stored_bytes += stored_bytes
+        rec.packs += 1
+        self._iter_raw += raw_bytes
+        self._iter_stored += stored_bytes
+        self._live_raw += raw_bytes
+        self._live_stored += stored_bytes
+        self.peak_raw_bytes = max(self.peak_raw_bytes, self._live_raw)
+        self.peak_stored_bytes = max(self.peak_stored_bytes, self._live_stored)
+
+    def record_release(self, raw_bytes: int, stored_bytes: int) -> None:
+        self._live_raw -= raw_bytes
+        self._live_stored -= stored_bytes
+
+    def end_iteration(self) -> float:
+        """Close the iteration; returns its overall compression ratio."""
+        ratio = self._iter_raw / self._iter_stored if self._iter_stored else 0.0
+        if self._iter_stored:
+            self.iteration_ratios.append(ratio)
+        self._iter_raw = 0
+        self._iter_stored = 0
+        self._live_raw = 0
+        self._live_stored = 0
+        return ratio
+
+    @property
+    def overall_ratio(self) -> float:
+        raw = sum(r.raw_bytes for r in self.per_layer.values())
+        stored = sum(r.stored_bytes for r in self.per_layer.values())
+        return raw / stored if stored else 0.0
+
+    def summary(self) -> List[LayerMemoryRecord]:
+        return sorted(self.per_layer.values(), key=lambda r: r.layer_name)

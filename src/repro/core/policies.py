@@ -1,0 +1,100 @@
+"""Baseline memory policies (Section 2.1's related-work landscape).
+
+Each policy is a saved-tensor context comparable head-to-head with the
+paper's adaptive SZ compression:
+
+* :class:`RawPolicy` — baseline training, raw fp32 activations.
+* :class:`CodecPolicy` — store activations through any compress /
+  decompress codec (lossless DEFLATE, sparsity-aware lossless, or the
+  JPEG-ACT-like transform codec).
+* :class:`FixedBoundSZPolicy` — SZ with one static error bound for all
+  layers (the ablation against the adaptive controller).
+
+Recomputation and migration do not change *what* is stored but *when*
+time is spent; they are modeled in :mod:`repro.simulator` (the paper
+likewise treats them as orthogonal, Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.szlike import SZCompressor
+from repro.core.memory_tracker import MemoryTracker
+from repro.nn.layers.base import Layer, SavedTensorContext
+
+__all__ = ["RawPolicy", "CodecPolicy", "FixedBoundSZPolicy"]
+
+
+class RawPolicy(SavedTensorContext):
+    """Baseline: plain references, but with byte accounting."""
+
+    def __init__(self, tracker: Optional[MemoryTracker] = None):
+        self.tracker = tracker or MemoryTracker()
+
+    def pack(self, layer: Layer, key: str, arr):
+        if isinstance(arr, np.ndarray) and arr.ndim == 4:
+            self.tracker.record_pack(layer.name, arr.nbytes, arr.nbytes)
+        return arr
+
+    def unpack(self, layer: Layer, key: str, handle):
+        if isinstance(handle, np.ndarray) and handle.ndim == 4:
+            self.tracker.record_release(handle.nbytes, handle.nbytes)
+        return handle
+
+
+class _Handle:
+    __slots__ = ("compressed", "raw_nbytes")
+
+    def __init__(self, compressed, raw_nbytes):
+        self.compressed = compressed
+        self.raw_nbytes = raw_nbytes
+
+
+class CodecPolicy(SavedTensorContext):
+    """Store 4-D activations through an arbitrary codec object.
+
+    The codec must expose ``compress(arr) -> ct``, ``decompress(ct)``,
+    and the compressed object must expose ``nbytes``.
+    """
+
+    def __init__(self, codec, tracker: Optional[MemoryTracker] = None):
+        if not (hasattr(codec, "compress") and hasattr(codec, "decompress")):
+            raise TypeError("codec must provide compress()/decompress()")
+        self.codec = codec
+        self.tracker = tracker or MemoryTracker()
+
+    def pack(self, layer: Layer, key: str, arr):
+        if not isinstance(arr, np.ndarray) or arr.ndim != 4:
+            return arr
+        ct = self.codec.compress(arr)
+        self.tracker.record_pack(layer.name, arr.nbytes, ct.nbytes)
+        return _Handle(ct, arr.nbytes)
+
+    def unpack(self, layer: Layer, key: str, handle):
+        if not isinstance(handle, _Handle):
+            return handle
+        self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+        return self.codec.decompress(handle.compressed)
+
+    def discard(self, layer: Layer, key: str, handle):
+        if isinstance(handle, _Handle):
+            self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+
+
+class FixedBoundSZPolicy(CodecPolicy):
+    """SZ compression with a single static absolute error bound."""
+
+    def __init__(
+        self,
+        error_bound: float,
+        tracker: Optional[MemoryTracker] = None,
+        entropy: str = "huffman",
+        zero_filter: bool = True,
+    ):
+        codec = SZCompressor(
+            error_bound=error_bound, entropy=entropy, zero_filter=zero_filter
+        )
+        super().__init__(codec, tracker)

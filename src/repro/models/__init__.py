@@ -1,0 +1,43 @@
+"""Model zoo: full-scale specs for accounting, scaled variants for training."""
+
+from repro.models.alexnet import alexnet_scaled_specs, alexnet_specs
+from repro.models.resnet import resnet18_specs, resnet50_specs, resnet_scaled_specs
+from repro.models.vgg import vgg16_scaled_specs, vgg16_specs
+from repro.models.registry import (
+    FULL_MODELS,
+    PAPER_REFERENCE,
+    SCALED_MODELS,
+    build_scaled_model,
+    conv_activation_bytes,
+    full_model_specs,
+    scaled_model_specs,
+    total_saved_bytes,
+    weight_bytes,
+)
+from repro.models.specs import (
+    LayerReport,
+    build_network,
+    walk_shapes,
+)
+
+__all__ = [
+    "alexnet_specs",
+    "alexnet_scaled_specs",
+    "vgg16_specs",
+    "vgg16_scaled_specs",
+    "resnet18_specs",
+    "resnet50_specs",
+    "resnet_scaled_specs",
+    "FULL_MODELS",
+    "SCALED_MODELS",
+    "PAPER_REFERENCE",
+    "build_scaled_model",
+    "conv_activation_bytes",
+    "full_model_specs",
+    "scaled_model_specs",
+    "total_saved_bytes",
+    "weight_bytes",
+    "LayerReport",
+    "build_network",
+    "walk_shapes",
+]

@@ -1,0 +1,53 @@
+"""AlexNet (Krizhevsky et al. 2012, Caffe single-GPU variant)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.specs import (
+    ConvS, DropoutS, FlattenS, LinearS, LRNS, MaxPoolS, ReLUS,
+)
+
+__all__ = ["alexnet_specs", "alexnet_scaled_specs"]
+
+
+def alexnet_specs(num_classes: int = 1000) -> List:
+    """Full ImageNet AlexNet for 224x224x3 input.
+
+    Five conv layers (96-256-384-384-256), two LRNs, three max pools,
+    and the 4096-4096 classifier head — Table 1's 407 MB of conv input
+    activations at batch 256.
+    """
+    return [
+        ConvS(96, 11, stride=4, padding=2), ReLUS(), LRNS(), MaxPoolS(3, 2),
+        ConvS(256, 5, stride=1, padding=2), ReLUS(), LRNS(), MaxPoolS(3, 2),
+        ConvS(384, 3, stride=1, padding=1), ReLUS(),
+        ConvS(384, 3, stride=1, padding=1), ReLUS(),
+        ConvS(256, 3, stride=1, padding=1), ReLUS(), MaxPoolS(3, 2),
+        FlattenS(),
+        LinearS(4096), ReLUS(), DropoutS(0.5),
+        LinearS(4096), ReLUS(), DropoutS(0.5),
+        LinearS(num_classes),
+    ]
+
+
+def alexnet_scaled_specs(num_classes: int = 8, width: float = 0.25) -> List:
+    """CPU-trainable AlexNet: same topology at 32x32 with scaled width.
+
+    Strides/pools are compressed for the small canvas, but the layer
+    sequence (conv-LRN-pool front end, 5 convs, dropout head) is kept so
+    per-layer compression behaviour is representative.
+    """
+    def c(ch: int) -> int:
+        return max(4, int(round(ch * width)))
+
+    return [
+        ConvS(c(96), 3, stride=1, padding=1), ReLUS(), LRNS(size=5), MaxPoolS(2),
+        ConvS(c(256), 3, stride=1, padding=1), ReLUS(), LRNS(size=5), MaxPoolS(2),
+        ConvS(c(384), 3, stride=1, padding=1), ReLUS(),
+        ConvS(c(384), 3, stride=1, padding=1), ReLUS(),
+        ConvS(c(256), 3, stride=1, padding=1), ReLUS(), MaxPoolS(2),
+        FlattenS(),
+        LinearS(c(1024)), ReLUS(), DropoutS(0.3),
+        LinearS(num_classes),
+    ]

@@ -1,0 +1,100 @@
+"""Model registry: full-scale specs, scaled trainable variants, and the
+published reference numbers used by Figure 2 / Table 1 comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.models.alexnet import alexnet_scaled_specs, alexnet_specs
+from repro.models.resnet import resnet18_specs, resnet50_specs, resnet_scaled_specs
+from repro.models.vgg import vgg16_scaled_specs, vgg16_specs
+from repro.models.specs import LayerReport, build_network, walk_shapes
+
+__all__ = [
+    "FULL_MODELS",
+    "SCALED_MODELS",
+    "PAPER_REFERENCE",
+    "full_model_specs",
+    "scaled_model_specs",
+    "build_scaled_model",
+    "conv_activation_bytes",
+    "total_saved_bytes",
+    "weight_bytes",
+]
+
+#: name -> spec builder for the full 224x224 ImageNet architectures
+FULL_MODELS: Dict[str, Callable[[], List]] = {
+    "alexnet": lambda: alexnet_specs(1000),
+    "vgg16": lambda: vgg16_specs(1000),
+    "resnet18": lambda: resnet18_specs(1000),
+    "resnet50": lambda: resnet50_specs(1000),
+}
+
+#: name -> spec builder for CPU-trainable scaled variants (32x32 input)
+SCALED_MODELS: Dict[str, Callable[[int], List]] = {
+    "alexnet": lambda ncls: alexnet_scaled_specs(ncls),
+    "vgg16": lambda ncls: vgg16_scaled_specs(ncls),
+    "resnet18": lambda ncls: resnet_scaled_specs(ncls, blocks_per_stage=1),
+    "resnet50": lambda ncls: resnet_scaled_specs(ncls, blocks_per_stage=2),
+}
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Table 1 reference values from the paper (batch size 256)."""
+
+    top1_baseline: float
+    top1_compressed: float
+    conv_act_bytes_baseline: float  # bytes
+    compression_ratio: float
+
+
+_MB = 1024.0**2
+_GB = 1024.0**3
+
+PAPER_REFERENCE: Dict[str, PaperNumbers] = {
+    "alexnet": PaperNumbers(57.41, 57.42, 407 * _MB, 13.5),
+    "vgg16": PaperNumbers(68.05, 68.02, 9.30 * _GB, 11.1),
+    "resnet18": PaperNumbers(67.57, 67.43, 3.42 * _GB, 10.7),
+    "resnet50": PaperNumbers(71.49, 71.18, 10.28 * _GB, 11.0),
+}
+
+
+def full_model_specs(name: str) -> List:
+    try:
+        return FULL_MODELS[name]()
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(FULL_MODELS)}") from None
+
+
+def scaled_model_specs(name: str, num_classes: int = 8) -> List:
+    try:
+        return SCALED_MODELS[name](num_classes)
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(SCALED_MODELS)}") from None
+
+
+def build_scaled_model(name: str, num_classes: int = 8, image_size: int = 32, batch: int = 32, rng=None):
+    """Instantiate a trainable scaled model for ``(batch, 3, size, size)``."""
+    specs = scaled_model_specs(name, num_classes)
+    return build_network(specs, (batch, 3, image_size, image_size), rng=rng)
+
+
+def _reports(name: str, batch: int, image_size: int = 224) -> List[LayerReport]:
+    return walk_shapes(full_model_specs(name), (batch, 3, image_size, image_size))
+
+
+def conv_activation_bytes(name: str, batch: int = 256, image_size: int = 224) -> int:
+    """Total fp32 bytes of conv-layer *input* activations (Table 1 metric)."""
+    return sum(r.saved_bytes for r in _reports(name, batch, image_size) if r.is_conv)
+
+
+def total_saved_bytes(name: str, batch: int = 256, image_size: int = 224) -> int:
+    """All saved-for-backward bytes across every layer (Figure 2 metric)."""
+    return sum(r.saved_bytes for r in _reports(name, batch, image_size))
+
+
+def weight_bytes(name: str, image_size: int = 224) -> int:
+    """Model/weight footprint in bytes (fp32)."""
+    return sum(r.weight_bytes for r in _reports(name, 1, image_size))

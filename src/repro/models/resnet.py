@@ -1,0 +1,92 @@
+"""ResNet-18 and ResNet-50 (He et al. 2016).
+
+Basic blocks (two 3x3 convs) for ResNet-18; bottleneck blocks
+(1x1 - 3x3 - 1x1) for ResNet-50.  Projection shortcuts (1x1 conv + BN)
+appear wherever shape changes, per the paper's option B.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.specs import (
+    BatchNormS, ConvS, FlattenS, GlobalAvgPoolS, LinearS, MaxPoolS, ReLUS, ResidualS,
+)
+
+__all__ = ["resnet18_specs", "resnet50_specs", "resnet_scaled_specs"]
+
+
+def _basic_block(channels: int, stride: int, in_channels: int) -> ResidualS:
+    main = (
+        ConvS(channels, 3, stride=stride, padding=1, bias=False), BatchNormS(), ReLUS(),
+        ConvS(channels, 3, stride=1, padding=1, bias=False), BatchNormS(),
+    )
+    if stride != 1 or in_channels != channels:
+        shortcut = (ConvS(channels, 1, stride=stride, bias=False), BatchNormS())
+    else:
+        shortcut = None
+    return ResidualS(main=main, shortcut=shortcut)
+
+
+def _bottleneck_block(mid: int, stride: int, in_channels: int) -> ResidualS:
+    out = mid * 4
+    main = (
+        ConvS(mid, 1, stride=1, bias=False), BatchNormS(), ReLUS(),
+        ConvS(mid, 3, stride=stride, padding=1, bias=False), BatchNormS(), ReLUS(),
+        ConvS(out, 1, stride=1, bias=False), BatchNormS(),
+    )
+    if stride != 1 or in_channels != out:
+        shortcut = (ConvS(out, 1, stride=stride, bias=False), BatchNormS())
+    else:
+        shortcut = None
+    return ResidualS(main=main, shortcut=shortcut)
+
+
+def _stem() -> List:
+    return [
+        ConvS(64, 7, stride=2, padding=3, bias=False), BatchNormS(), ReLUS(),
+        MaxPoolS(3, 2, padding=1),
+    ]
+
+
+def resnet18_specs(num_classes: int = 1000) -> List:
+    specs: List = _stem()
+    in_ch = 64
+    for channels, blocks, first_stride in ((64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2)):
+        for b in range(blocks):
+            stride = first_stride if b == 0 else 1
+            specs.append(_basic_block(channels, stride, in_ch))
+            specs.append(ReLUS())
+            in_ch = channels
+    specs += [GlobalAvgPoolS(), LinearS(num_classes)]
+    return specs
+
+
+def resnet50_specs(num_classes: int = 1000) -> List:
+    specs: List = _stem()
+    in_ch = 64
+    for mid, blocks, first_stride in ((64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)):
+        for b in range(blocks):
+            stride = first_stride if b == 0 else 1
+            specs.append(_bottleneck_block(mid, stride, in_ch))
+            specs.append(ReLUS())
+            in_ch = mid * 4
+    specs += [GlobalAvgPoolS(), LinearS(num_classes)]
+    return specs
+
+
+def resnet_scaled_specs(num_classes: int = 8, width: float = 0.25, blocks_per_stage: int = 1) -> List:
+    """CPU-trainable basic-block ResNet for 32x32 input."""
+    def c(ch: int) -> int:
+        return max(4, int(round(ch * width)))
+
+    specs: List = [ConvS(c(64), 3, stride=1, padding=1, bias=False), BatchNormS(), ReLUS()]
+    in_ch = c(64)
+    for channels, first_stride in ((c(64), 1), (c(128), 2), (c(256), 2)):
+        for b in range(blocks_per_stage):
+            stride = first_stride if b == 0 else 1
+            specs.append(_basic_block(channels, stride, in_ch))
+            specs.append(ReLUS())
+            in_ch = channels
+    specs += [GlobalAvgPoolS(), LinearS(num_classes)]
+    return specs

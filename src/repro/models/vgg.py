@@ -1,0 +1,46 @@
+"""VGG-16 (Simonyan & Zisserman 2014, configuration D)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.specs import ConvS, DropoutS, FlattenS, LinearS, MaxPoolS, ReLUS
+
+__all__ = ["vgg16_specs", "vgg16_scaled_specs"]
+
+_CFG_D = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+def vgg16_specs(num_classes: int = 1000) -> List:
+    """Full ImageNet VGG-16: 13 3x3 convs + 3 FC layers (9.30 GB of conv
+    input activations at batch 256)."""
+    specs: List = []
+    for item in _CFG_D:
+        if item == "M":
+            specs.append(MaxPoolS(2))
+        else:
+            specs += [ConvS(item, 3, stride=1, padding=1), ReLUS()]
+    specs += [
+        FlattenS(),
+        LinearS(4096), ReLUS(), DropoutS(0.5),
+        LinearS(4096), ReLUS(), DropoutS(0.5),
+        LinearS(num_classes),
+    ]
+    return specs
+
+
+def vgg16_scaled_specs(num_classes: int = 8, width: float = 0.125) -> List:
+    """CPU-trainable VGG: config-D conv stack at reduced width for 32x32
+    input (3 pools instead of 5 so the canvas survives)."""
+    def c(ch: int) -> int:
+        return max(4, int(round(ch * width)))
+
+    cfg = [64, 64, "M", 128, 128, "M", 256, 256, "M"]
+    specs: List = []
+    for item in cfg:
+        if item == "M":
+            specs.append(MaxPoolS(2))
+        else:
+            specs += [ConvS(c(item), 3, stride=1, padding=1), ReLUS()]
+    specs += [FlattenS(), LinearS(c(512)), ReLUS(), DropoutS(0.3), LinearS(num_classes)]
+    return specs

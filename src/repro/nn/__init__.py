@@ -1,0 +1,58 @@
+"""NumPy DNN training substrate (layers, containers, optimizer, trainer)."""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    SavedTensorContext,
+    Sigmoid,
+    SoftmaxCrossEntropy,
+    Tanh,
+)
+from repro.nn.network import Residual, Sequential, iter_layers, set_saved_ctx
+from repro.nn.optim import SGD, ConstantLR, StepLR
+from repro.nn.trainer import IterationRecord, Trainer, TrainHistory
+from repro.nn.data import SyntheticImageDataset, batches
+from repro.nn.snapshot import load_snapshot, save_snapshot
+
+__all__ = [
+    "AvgPool2D",
+    "BatchNorm2D",
+    "Conv2D",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "Layer",
+    "Linear",
+    "LocalResponseNorm",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "SavedTensorContext",
+    "Sigmoid",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "Residual",
+    "Sequential",
+    "iter_layers",
+    "set_saved_ctx",
+    "SGD",
+    "ConstantLR",
+    "StepLR",
+    "IterationRecord",
+    "Trainer",
+    "TrainHistory",
+    "SyntheticImageDataset",
+    "batches",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,68 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+__all__ = ["ReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Layer):
+    """max(x, 0).
+
+    Saves only a bit mask for backward (the layer is the canonical
+    "recomputable" layer of Section 2.1: its output is trivially derived
+    from its input, which is why the paper can recompute the activation
+    function to restore exact zeros).
+    """
+
+    recomputable = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.maximum(x, 0)
+        if self.training:
+            self._save("mask", (x > 0))
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        mask = self._pop("mask")
+        return dout * mask
+
+    def output_shape(self, in_shape):
+        return in_shape
+
+
+class Tanh(Layer):
+    recomputable = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x)
+        if self.training:
+            self._save("y", out)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        y = self._pop("y")
+        return dout * (1.0 - y * y)
+
+    def output_shape(self, in_shape):
+        return in_shape
+
+
+class Sigmoid(Layer):
+    recomputable = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-x))
+        if self.training:
+            self._save("y", out)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        y = self._pop("y")
+        return dout * y * (1.0 - y)
+
+    def output_shape(self, in_shape):
+        return in_shape

@@ -1,0 +1,130 @@
+"""Layer base class, parameters, and the saved-tensor context.
+
+The saved-tensor context is this substrate's analog of PyTorch's
+``saved_tensors_hooks``: every layer stores the tensors it needs for its
+backward pass through a pluggable ``pack``/``unpack`` pair.  The default
+context keeps plain references; the paper's framework
+(:mod:`repro.core.activation_store`) swaps in a context that compresses on
+``pack`` (forward pass) and decompresses on ``unpack`` (backward pass) —
+exactly the interception point the paper instruments in Caffe/TensorFlow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Parameter", "SavedTensorContext", "Layer"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class SavedTensorContext:
+    """Default pass-through storage for tensors saved for backward."""
+
+    def pack(self, layer: "Layer", key: str, arr: np.ndarray):
+        """Called on forward when *layer* saves *arr*; returns a handle."""
+        return arr
+
+    def unpack(self, layer: "Layer", key: str, handle) -> np.ndarray:
+        """Called on backward to recover the tensor from its handle."""
+        return handle
+
+    def discard(self, layer: "Layer", key: str, handle) -> None:
+        """Called when a handle is dropped without being unpacked."""
+
+
+_DEFAULT_CTX = SavedTensorContext()
+
+
+class Layer:
+    """Base class: forward/backward pair over NumPy arrays.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`; tensors
+    needed by backward must go through :meth:`_save`/:meth:`_load` so
+    memory policies can intercept them.
+    """
+
+    #: True for layers whose saved input is a large conv activation —
+    #: the tensors the paper targets for compression.
+    compressible = False
+    #: True for layers cheap to recompute from their input (ReLU, pool),
+    #: eligible for the recomputation policy of Section 2.1.
+    recomputable = False
+
+    _instance_counter = 0
+
+    def __init__(self, name: Optional[str] = None):
+        if name is None:
+            # Unique default names: per-layer statistics (error bounds,
+            # loss scales, memory records) are keyed by name.
+            Layer._instance_counter += 1
+            name = f"{type(self).__name__}_{Layer._instance_counter}"
+        self.name = name
+        self.training = True
+        self.saved_ctx: SavedTensorContext = _DEFAULT_CTX
+        self._saved: Dict[str, object] = {}
+
+    # -- lifecycle --------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def train(self, flag: bool = True) -> "Layer":
+        self.training = flag
+        return self
+
+    def eval(self) -> "Layer":
+        return self.train(False)
+
+    # -- saved-tensor plumbing ---------------------------------------------
+    def _save(self, key: str, arr: np.ndarray) -> None:
+        self._saved[key] = self.saved_ctx.pack(self, key, arr)
+
+    def _load(self, key: str) -> np.ndarray:
+        return self.saved_ctx.unpack(self, key, self._saved[key])
+
+    def _pop(self, key: str) -> np.ndarray:
+        """Load and release a saved tensor (normal backward-pass use)."""
+        handle = self._saved.pop(key)
+        return self.saved_ctx.unpack(self, key, handle)
+
+    def clear_saved(self) -> None:
+        for key, handle in self._saved.items():
+            self.saved_ctx.discard(self, key, handle)
+        self._saved.clear()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

@@ -1,0 +1,145 @@
+"""2-D convolution with exact analytic backward pass (im2col formulation).
+
+The layer's saved tensor is its *input activation* — the tensor the paper
+compresses.  ``im2col`` patches are recomputed during backward rather than
+saved (they are ``k*k`` times larger than the activation), matching how
+training frameworks checkpoint convolutions.
+
+The forward pass extracts patches with ``sliding_window_view`` (zero-copy
+strided view, per the HPC guides' "views, not copies") and reduces to one
+GEMM; backward is two GEMMs plus a strided scatter-add (col2im).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.init import kaiming_uniform
+
+__all__ = ["Conv2D", "im2col", "col2im", "conv_output_hw"]
+
+
+def conv_output_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pooling window."""
+    ho = (h + 2 * padding - kernel) // stride + 1
+    wo = (w + 2 * padding - kernel) // stride + 1
+    if ho <= 0 or wo <= 0:
+        raise ValueError(
+            f"window (k={kernel}, s={stride}, p={padding}) does not fit input {h}x{w}"
+        )
+    return ho, wo
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Extract conv patches: ``(N, C, H, W) -> (N*Ho*Wo, C*k*k)``."""
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c = x.shape[:2]
+    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, Ho, Wo, k, k)
+    ho, wo = windows.shape[2], windows.shape[3]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * ho * wo, c * kernel * kernel)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch gradients back."""
+    n, c, h, w = x_shape
+    ho, wo = conv_output_hw(h, w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dxp = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    d6 = dcols.reshape(n, ho, wo, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kernel):
+        for j in range(kernel):
+            dxp[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += d6[
+                :, :, :, :, i, j
+            ]
+    if padding:
+        return dxp[:, :, padding : padding + h, padding : padding + w]
+    return dxp
+
+
+class Conv2D(Layer):
+    """``(N, C_in, H, W) -> (N, C_out, Ho, Wo)`` convolution layer."""
+
+    compressible = True
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = None,
+        rng=None,
+    ):
+        super().__init__(name)
+        if kernel < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid conv geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(
+            kaiming_uniform((out_channels, in_channels, kernel, kernel), fan_in, rng=rng),
+            name=f"{self.name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{self.name}.bias") if bias else None
+
+    def parameters(self):
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        ho, wo = conv_output_hw(x.shape[2], x.shape[3], self.kernel, self.stride, self.padding)
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ wmat.T
+        if self.bias is not None:
+            out += self.bias.data
+        out = out.reshape(n, ho, wo, self.out_channels).transpose(0, 3, 1, 2)
+        if self.training:
+            self._save("x", x)
+            self._x_shape = x.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        x = self._pop("x")
+        n, _, ho, wo = dout.shape
+        dmat = dout.transpose(0, 2, 3, 1).reshape(n * ho * wo, self.out_channels)
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (dmat.T @ cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += dmat.sum(axis=0)
+        dcols = dmat @ wmat
+        return col2im(dcols, x.shape, self.kernel, self.stride, self.padding)
+
+    def output_shape(self, in_shape):
+        n, c, h, w = in_shape
+        ho, wo = conv_output_hw(h, w, self.kernel, self.stride, self.padding)
+        return (n, self.out_channels, ho, wo)
+
+    def __repr__(self):
+        return (
+            f"Conv2D({self.in_channels}->{self.out_channels}, k={self.kernel}, "
+            f"s={self.stride}, p={self.padding})"
+        )

@@ -1,0 +1,28 @@
+"""Shape adaptor layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """``(N, ...) -> (N, prod(...))``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout.reshape(self._x_shape)
+
+    def output_shape(self, in_shape):
+        n = in_shape[0]
+        prod = 1
+        for d in in_shape[1:]:
+            prod *= d
+        return (n, prod)

@@ -1,0 +1,50 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform
+from repro.nn.layers.base import Layer, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Layer):
+    """``(N, in_features) -> (N, out_features)`` affine layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, name=None, rng=None):
+        super().__init__(name)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_uniform((out_features, in_features), in_features, rng=rng),
+            name=f"{self.name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{self.name}.bias") if bias else None
+
+    def parameters(self):
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"{self.name}: expected (N, {self.in_features}), got {x.shape}")
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out += self.bias.data
+        if self.training:
+            self._save("x", x)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        x = self._pop("x")
+        self.weight.grad += dout.T @ x
+        if self.bias is not None:
+            self.bias.grad += dout.sum(axis=0)
+        return dout @ self.weight.data
+
+    def output_shape(self, in_shape):
+        return (in_shape[0], self.out_features)
+
+    def __repr__(self):
+        return f"Linear({self.in_features}->{self.out_features})"

@@ -1,0 +1,108 @@
+"""Normalization layers: BatchNorm2D and AlexNet-style LRN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+
+__all__ = ["BatchNorm2D", "LocalResponseNorm"]
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5, name=None):
+        super().__init__(name)
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels), name=f"{self.name}.gamma")
+        self.beta = Parameter(np.zeros(channels), name=f"{self.name}.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+
+    def parameters(self):
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(f"{self.name}: expected (N, {self.channels}, H, W), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = self.gamma.data[None, :, None, None] * xhat + self.beta.data[None, :, None, None]
+        if self.training:
+            self._save("xhat", xhat.astype(x.dtype))
+            self._inv_std = inv_std
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        xhat = self._pop("xhat")
+        n, _, h, w = dout.shape
+        m = n * h * w
+        self.gamma.grad += (dout * xhat).sum(axis=(0, 2, 3))
+        self.beta.grad += dout.sum(axis=(0, 2, 3))
+        g = self.gamma.data[None, :, None, None] * self._inv_std[None, :, None, None]
+        sum_d = dout.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dx = (dout * xhat).sum(axis=(0, 2, 3), keepdims=True)
+        return g * (dout - sum_d / m - xhat * sum_dx / m)
+
+    def output_shape(self, in_shape):
+        return in_shape
+
+
+def _channel_window_sum(v: np.ndarray, size: int) -> np.ndarray:
+    """Sum of *v* over a centered channel window (AlexNet LRN semantics)."""
+    half = size // 2
+    c = v.shape[1]
+    pad = np.zeros_like(v[:, :1])
+    cs = np.concatenate([pad, np.cumsum(v, axis=1)], axis=1)  # (N, C+1, H, W)
+    hi = np.minimum(np.arange(c) + half + 1, c)
+    lo = np.maximum(np.arange(c) - half, 0)
+    return cs[:, hi] - cs[:, lo]
+
+
+class LocalResponseNorm(Layer):
+    """Across-channel local response normalization (Krizhevsky et al.).
+
+    ``y_i = x_i / (k + alpha/n * sum_{j in win(i)} x_j^2)^beta``
+    """
+
+    def __init__(self, size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 2.0, name=None):
+        super().__init__(name)
+        if size < 1 or size % 2 == 0:
+            raise ValueError(f"LRN size must be odd and >= 1, got {size}")
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {x.shape}")
+        denom = self.k + (self.alpha / self.size) * _channel_window_sum(x * x, self.size)
+        out = x * denom ** (-self.beta)
+        if self.training:
+            self._save("x", x)
+            self._denom = denom
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        x = self._pop("x")
+        denom = self._denom
+        dpow = denom ** (-self.beta)
+        # dL/dx_j = dout_j * d_j^-b
+        #          - (2ab/n) x_j * window_sum_j(dout_i x_i d_i^-(b+1))
+        inner = dout * x * denom ** (-self.beta - 1.0)
+        corr = _channel_window_sum(inner, self.size)
+        return dout * dpow - (2.0 * self.alpha * self.beta / self.size) * x * corr
+
+    def output_shape(self, in_shape):
+        return in_shape

@@ -1,0 +1,133 @@
+"""Spatial pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import conv_output_hw
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+def _windows(x: np.ndarray, kernel: int, stride: int, padding: int, pad_value: float):
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=pad_value,
+        )
+    w = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+    return x, w  # padded input, (N, C, Ho, Wo, k, k) view
+
+
+class MaxPool2D(Layer):
+    """Max pooling; backward routes gradients to per-window argmax."""
+
+    recomputable = True
+
+    def __init__(self, kernel: int, stride: int = None, padding: int = 0, name=None):
+        super().__init__(name)
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {x.shape}")
+        _, w = _windows(x, self.kernel, self.stride, self.padding, -np.inf)
+        n, c, ho, wo = w.shape[:4]
+        flat = w.reshape(n, c, ho, wo, -1)
+        idx = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        if self.training:
+            self._save("idx", idx.astype(np.int16))
+            self._x_shape = x.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        idx = self._pop("idx").astype(np.int64)
+        n, c, h, w = self._x_shape
+        k, s, p = self.kernel, self.stride, self.padding
+        ho, wo = conv_output_hw(h, w, k, s, p)
+        hp, wp = h + 2 * p, w + 2 * p
+        # Window-local argmax -> absolute padded coordinates, then one
+        # flat scatter-add (windows may overlap when stride < kernel).
+        di, dj = idx // k, idx % k
+        base_i = (np.arange(ho) * s)[None, None, :, None]
+        base_j = (np.arange(wo) * s)[None, None, None, :]
+        rows = base_i + di
+        cols = base_j + dj
+        plane = (np.arange(n * c) * (hp * wp)).reshape(n, c, 1, 1)
+        flat_idx = (plane + rows * wp + cols).reshape(-1)
+        dxp = np.zeros(n * c * hp * wp, dtype=dout.dtype)
+        np.add.at(dxp, flat_idx, dout.reshape(-1))
+        dxp = dxp.reshape(n, c, hp, wp)
+        return dxp[:, :, p : p + h, p : p + w] if p else dxp
+
+    def output_shape(self, in_shape):
+        n, c, h, w = in_shape
+        ho, wo = conv_output_hw(h, w, self.kernel, self.stride, self.padding)
+        return (n, c, ho, wo)
+
+    def __repr__(self):
+        return f"MaxPool2D(k={self.kernel}, s={self.stride}, p={self.padding})"
+
+
+class AvgPool2D(Layer):
+    """Average pooling (count includes padding, TF/Caffe style)."""
+
+    recomputable = True
+
+    def __init__(self, kernel: int, stride: int = None, padding: int = 0, name=None):
+        super().__init__(name)
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {x.shape}")
+        _, w = _windows(x, self.kernel, self.stride, self.padding, 0.0)
+        out = w.mean(axis=(-2, -1))
+        if self.training:
+            self._x_shape = x.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        k, s, p = self.kernel, self.stride, self.padding
+        ho, wo = conv_output_hw(h, w, k, s, p)
+        hp, wp = h + 2 * p, w + 2 * p
+        dxp = np.zeros((n, c, hp, wp), dtype=dout.dtype)
+        g = dout / (k * k)
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i : i + s * ho : s, j : j + s * wo : s] += g
+        return dxp[:, :, p : p + h, p : p + w] if p else dxp
+
+    def output_shape(self, in_shape):
+        n, c, h, w = in_shape
+        ho, wo = conv_output_hw(h, w, self.kernel, self.stride, self.padding)
+        return (n, c, ho, wo)
+
+
+class GlobalAvgPool2D(Layer):
+    """Mean over the spatial axes: ``(N, C, H, W) -> (N, C)``."""
+
+    recomputable = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {x.shape}")
+        if self.training:
+            self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(dout[:, :, None, None] / (h * w), (n, c, h, w)).copy()
+
+    def output_shape(self, in_shape):
+        return (in_shape[0], in_shape[1])

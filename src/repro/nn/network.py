@@ -1,0 +1,142 @@
+"""Network containers: Sequential composition and residual blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter, SavedTensorContext
+
+__all__ = ["Sequential", "Residual", "iter_layers"]
+
+
+class Sequential(Layer):
+    """Chain of layers executed in order; backward runs in reverse."""
+
+    def __init__(self, layers: Sequence[Layer], name=None):
+        super().__init__(name)
+        self.layers: List[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def parameters(self) -> List[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def train(self, flag: bool = True):
+        self.training = flag
+        for layer in self.layers:
+            layer.train(flag)
+        return self
+
+    def clear_saved(self):
+        for layer in self.layers:
+            layer.clear_saved()
+
+    def output_shape(self, in_shape):
+        for layer in self.layers:
+            in_shape = layer.output_shape(in_shape)
+        return in_shape
+
+    def __getitem__(self, i):
+        return self.layers[i]
+
+    def __len__(self):
+        return len(self.layers)
+
+    def __repr__(self):
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Sequential([{inner}])"
+
+
+class Residual(Layer):
+    """``y = main(x) + shortcut(x)`` (shortcut defaults to identity).
+
+    The elementwise add needs no saved tensor; gradients flow through both
+    branches and sum at the input — the ResNet-18/50 building block.
+    """
+
+    def __init__(self, main: Layer, shortcut: Layer = None, name=None):
+        super().__init__(name)
+        self.main = main
+        self.shortcut = shortcut
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = self.main.forward(x)
+        s = self.shortcut.forward(x) if self.shortcut is not None else x
+        if y.shape != s.shape:
+            raise ValueError(
+                f"{self.name}: branch shapes differ, main {y.shape} vs shortcut {s.shape}"
+            )
+        return y + s
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dx = self.main.backward(dout)
+        if self.shortcut is not None:
+            dx = dx + self.shortcut.backward(dout)
+        else:
+            dx = dx + dout
+        return dx
+
+    def parameters(self) -> List[Parameter]:
+        ps = list(self.main.parameters())
+        if self.shortcut is not None:
+            ps += self.shortcut.parameters()
+        return ps
+
+    def train(self, flag: bool = True):
+        self.training = flag
+        self.main.train(flag)
+        if self.shortcut is not None:
+            self.shortcut.train(flag)
+        return self
+
+    def clear_saved(self):
+        self.main.clear_saved()
+        if self.shortcut is not None:
+            self.shortcut.clear_saved()
+
+    def output_shape(self, in_shape):
+        return self.main.output_shape(in_shape)
+
+    def __repr__(self):
+        return f"Residual(main={self.main!r}, shortcut={self.shortcut!r})"
+
+
+def iter_layers(root: Layer) -> Iterator[Layer]:
+    """Depth-first iteration over every primitive layer under *root*."""
+    if isinstance(root, Sequential):
+        for layer in root.layers:
+            yield from iter_layers(layer)
+    elif isinstance(root, Residual):
+        yield from iter_layers(root.main)
+        if root.shortcut is not None:
+            yield from iter_layers(root.shortcut)
+    else:
+        yield root
+
+
+def set_saved_ctx(root: Layer, ctx: SavedTensorContext, predicate=None) -> int:
+    """Install *ctx* as the saved-tensor context on matching layers.
+
+    Returns the number of layers touched.  ``predicate`` defaults to all
+    layers; pass e.g. ``lambda l: l.compressible`` to target conv layers
+    only (the paper's scope).
+    """
+    count = 0
+    for layer in iter_layers(root):
+        if predicate is None or predicate(layer):
+            layer.saved_ctx = ctx
+            count += 1
+    return count
+
+
+__all__.append("set_saved_ctx")

@@ -1,0 +1,113 @@
+"""Optimizers and learning-rate schedules.
+
+SGD with momentum is first-class here because the paper's gradient
+assessment (Eq. 8) budgets the acceptable gradient-error sigma against
+the *average momentum magnitude* — the optimizer therefore exposes its
+momentum buffers for the framework to inspect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.layers.base import Parameter
+
+__all__ = ["SGD", "StepLR", "ConstantLR"]
+
+
+class SGD:
+    """SGD with classical momentum and decoupled L2 weight decay.
+
+    update: ``v = mu * v + g + wd * w``;  ``w -= lr * v``
+    (Caffe/TensorFlow convention used by the paper's experiments).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.velocity: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.params
+        }
+        self.iteration = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p in self.params:
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v = self.velocity[id(p)]
+            v *= self.momentum
+            v += g
+            p.data -= self.lr * v
+        self.iteration += 1
+
+    # -- introspection used by the paper's framework -----------------------
+    def momentum_buffer(self, p: Parameter) -> np.ndarray:
+        return self.velocity[id(p)]
+
+    def average_momentum_magnitude(self) -> float:
+        """Mean |v| across all momentum entries (Eq. 8's M_average)."""
+        total = 0.0
+        count = 0
+        for p in self.params:
+            v = self.velocity[id(p)]
+            total += float(np.abs(v).sum())
+            count += v.size
+        return total / count if count else 0.0
+
+    def average_gradient_magnitude(self) -> float:
+        """Mean |g| across all parameters (Figure 9's G-bar)."""
+        total = 0.0
+        count = 0
+        for p in self.params:
+            total += float(np.abs(p.grad).sum())
+            count += p.grad.size
+        return total / count if count else 0.0
+
+
+class ConstantLR:
+    """Fixed learning rate."""
+
+    def __init__(self, optimizer: SGD):
+        self.optimizer = optimizer
+
+    def step(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR:
+    """Multiply the LR by *gamma* every *step_size* optimizer steps."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._count = 0
+
+    def step(self) -> float:
+        self._count += 1
+        if self._count % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

@@ -1,0 +1,72 @@
+"""Training snapshots: save/restore network weights and optimizer state.
+
+The paper's Figure 9 methodology pre-trains a model, saves a snapshot
+every epoch, and replays error-injection experiments from chosen
+iterations; this module provides that mechanism (npz-based, BatchNorm
+running statistics included).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.norm import BatchNorm2D
+from repro.nn.network import iter_layers
+from repro.nn.optim import SGD
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+
+def _named_params(network: Layer):
+    for p in network.parameters():
+        yield p.name, p
+
+
+def save_snapshot(path: str, network: Layer, optimizer: Optional[SGD] = None) -> None:
+    """Write weights (+ BN running stats, + momentum buffers) to *path*."""
+    arrays = {}
+    for name, p in _named_params(network):
+        arrays[f"param/{name}"] = p.data
+        if optimizer is not None:
+            arrays[f"momentum/{name}"] = optimizer.momentum_buffer(p)
+    for layer in iter_layers(network):
+        if isinstance(layer, BatchNorm2D):
+            arrays[f"bn_mean/{layer.name}"] = layer.running_mean
+            arrays[f"bn_var/{layer.name}"] = layer.running_var
+    if optimizer is not None:
+        arrays["opt/iteration"] = np.array(optimizer.iteration)
+        arrays["opt/lr"] = np.array(optimizer.lr)
+    np.savez(path, **arrays)
+
+
+def load_snapshot(path: str, network: Layer, optimizer: Optional[SGD] = None) -> None:
+    """Restore a snapshot written by :func:`save_snapshot` in place.
+
+    The network must have the same architecture (parameter names and
+    shapes are matched exactly; mismatches raise).
+    """
+    with np.load(path) as data:
+        for name, p in _named_params(network):
+            key = f"param/{name}"
+            if key not in data:
+                raise KeyError(f"snapshot is missing parameter {name!r}")
+            if data[key].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: snapshot {data[key].shape} "
+                    f"vs model {p.data.shape}"
+                )
+            p.data[:] = data[key]
+            mkey = f"momentum/{name}"
+            if optimizer is not None and mkey in data:
+                optimizer.momentum_buffer(p)[:] = data[mkey]
+        for layer in iter_layers(network):
+            if isinstance(layer, BatchNorm2D):
+                if f"bn_mean/{layer.name}" in data:
+                    layer.running_mean[:] = data[f"bn_mean/{layer.name}"]
+                    layer.running_var[:] = data[f"bn_var/{layer.name}"]
+        if optimizer is not None and "opt/iteration" in data:
+            optimizer.iteration = int(data["opt/iteration"])
+            optimizer.lr = float(data["opt/lr"])

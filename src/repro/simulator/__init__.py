@@ -1,0 +1,53 @@
+"""Performance/memory simulator substrate (Figure 11, Section 5.4)."""
+
+from repro.simulator.gpu import DeviceSpec, V100, V100_32GB
+from repro.simulator.interconnect import (
+    IB_EDR,
+    Link,
+    NVLINK2,
+    PCIE3_X16,
+    migration_time,
+    ring_allreduce_time,
+)
+from repro.simulator.costmodel import (
+    LayerCost,
+    activation_bytes,
+    conv_activation_bytes_of,
+    gradient_bytes,
+    iteration_time,
+    model_costs,
+)
+from repro.simulator.training_sim import (
+    BASELINE,
+    CUSZ_THROUGHPUT,
+    MemoryPolicyModel,
+    SimResult,
+    TrainingSimulator,
+    layrub_like,
+    our_policy,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "V100_32GB",
+    "IB_EDR",
+    "Link",
+    "NVLINK2",
+    "PCIE3_X16",
+    "migration_time",
+    "ring_allreduce_time",
+    "LayerCost",
+    "activation_bytes",
+    "conv_activation_bytes_of",
+    "gradient_bytes",
+    "iteration_time",
+    "model_costs",
+    "BASELINE",
+    "CUSZ_THROUGHPUT",
+    "MemoryPolicyModel",
+    "SimResult",
+    "TrainingSimulator",
+    "layrub_like",
+    "our_policy",
+]

@@ -1,0 +1,78 @@
+"""Roofline-style per-layer cost model over architecture specs.
+
+Each layer's forward time is ``max(flops / effective_flops,
+bytes_moved / mem_bandwidth) + launch_overhead``; backward costs 2x the
+forward FLOPs for conv/linear (two GEMMs: dW and dX).  This reproduces
+the qualitative throughput behaviour the paper's Figure 11 relies on:
+fixed per-layer overheads amortize with batch size until the device
+saturates, so images/s rises with N and plateaus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.models.specs import LayerReport, walk_shapes
+from repro.simulator.gpu import DeviceSpec
+
+__all__ = ["LayerCost", "model_costs", "iteration_time", "activation_bytes", "gradient_bytes"]
+
+
+@dataclass
+class LayerCost:
+    kind: str
+    forward_s: float
+    backward_s: float
+    saved_bytes: int
+    weight_bytes: int
+    is_conv: bool = False
+
+
+def _layer_time(flops: float, bytes_moved: float, device: DeviceSpec) -> float:
+    compute = flops / device.effective_flops()
+    memory = bytes_moved / device.mem_bandwidth
+    return max(compute, memory) + device.launch_overhead
+
+
+def model_costs(specs: Sequence, batch: int, device: DeviceSpec, image_size: int = 224) -> List[LayerCost]:
+    """Per-layer forward/backward costs for *specs* at *batch*."""
+    reports = walk_shapes(specs, (batch, 3, image_size, image_size))
+    costs: List[LayerCost] = []
+    for r in reports:
+        in_bytes = 4.0 * _numel(r.in_shape)
+        out_bytes = 4.0 * _numel(r.out_shape)
+        fwd = _layer_time(r.flops, in_bytes + out_bytes + r.weight_bytes, device)
+        bwd_flops = 2.0 * r.flops if r.kind in ("conv", "linear") else r.flops
+        bwd = _layer_time(bwd_flops, in_bytes + out_bytes + 2 * r.weight_bytes, device)
+        costs.append(LayerCost(r.kind, fwd, bwd, r.saved_bytes, r.weight_bytes, r.is_conv))
+    return costs
+
+
+def iteration_time(costs: Sequence[LayerCost]) -> float:
+    """One training iteration (forward + backward + weight update)."""
+    fwd = sum(c.forward_s for c in costs)
+    bwd = sum(c.backward_s for c in costs)
+    update = sum(c.weight_bytes for c in costs) * 3.0 / 900e9  # read w,v write w
+    return fwd + bwd + update
+
+
+def activation_bytes(costs: Sequence[LayerCost]) -> int:
+    """Peak saved-activation footprint (all layers live at end of fwd)."""
+    return int(sum(c.saved_bytes for c in costs))
+
+
+def conv_activation_bytes_of(costs: Sequence[LayerCost]) -> int:
+    """Saved bytes of conv layers only — the compressible fraction."""
+    return int(sum(c.saved_bytes for c in costs if c.is_conv))
+
+
+def gradient_bytes(costs: Sequence[LayerCost]) -> int:
+    return int(sum(c.weight_bytes for c in costs))
+
+
+def _numel(shape) -> float:
+    n = 1.0
+    for d in shape:
+        n *= d
+    return n

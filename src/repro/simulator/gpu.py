@@ -1,0 +1,52 @@
+"""Device specifications for the performance model.
+
+The paper's testbed is TACC Longhorn: 4x NVIDIA Tesla V100 per node.
+These specs drive a roofline-style cost model; absolute numbers are
+published vendor figures, and the derating factor captures achieved-vs-
+peak efficiency typical for cuDNN convolution workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "V100", "V100_32GB"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A training accelerator for the cost model."""
+
+    name: str
+    peak_flops: float  # FP32 FLOP/s (or tensor-core effective)
+    mem_bandwidth: float  # bytes/s
+    mem_capacity: float  # bytes
+    #: fraction of peak a real conv workload sustains
+    derate: float = 0.55
+    #: fixed per-kernel-launch overhead (s); the reason small batches
+    #: underutilize the device
+    launch_overhead: float = 8e-6
+    #: fixed host-side cost per training iteration (input pipeline,
+    #: optimizer bookkeeping, framework dispatch) — the other reason
+    #: throughput keeps rising with batch size (Figure 11)
+    iteration_overhead: float = 0.03
+
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.derate
+
+
+#: Tesla V100 SXM2 16 GB (Longhorn's configuration).
+V100 = DeviceSpec(
+    name="V100-16GB",
+    peak_flops=15.7e12,
+    mem_bandwidth=900e9,
+    mem_capacity=16 * 1024**3,
+)
+
+#: The 32 GB variant the paper's introduction cites.
+V100_32GB = DeviceSpec(
+    name="V100-32GB",
+    peak_flops=15.7e12,
+    mem_bandwidth=900e9,
+    mem_capacity=32 * 1024**3,
+)

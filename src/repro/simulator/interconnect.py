@@ -1,0 +1,47 @@
+"""Interconnect models: PCIe/NVLink migration and ring all-reduce.
+
+Migration approaches (vDNN, GeePS — Section 2.1) are bounded by
+host-device bandwidth; data-parallel multi-node training is bounded by
+the all-reduce of the gradient each iteration.  Both are simple
+bandwidth/latency models, which is all the paper's comparisons rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link", "PCIE3_X16", "NVLINK2", "IB_EDR", "migration_time", "ring_allreduce_time"]
+
+
+@dataclass(frozen=True)
+class Link:
+    name: str
+    bandwidth: float  # bytes/s, effective unidirectional
+    latency: float  # s per transfer
+
+
+PCIE3_X16 = Link("PCIe 3.0 x16", 12e9, 5e-6)
+NVLINK2 = Link("NVLink 2.0", 75e9, 2e-6)
+IB_EDR = Link("InfiniBand EDR", 11e9, 2e-6)
+
+
+def migration_time(nbytes: float, link: Link) -> float:
+    """One-way transfer time for offloading *nbytes* to the host."""
+    if nbytes < 0:
+        raise ValueError("byte count must be non-negative")
+    return link.latency + nbytes / link.bandwidth
+
+
+def ring_allreduce_time(nbytes: float, workers: int, link: Link) -> float:
+    """Ring all-reduce of an *nbytes* buffer across *workers* ranks.
+
+    Classic cost: ``2 * (p-1)/p * nbytes / bandwidth`` plus per-step
+    latency; exact for bandwidth-dominated large gradients.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if workers == 1:
+        return 0.0
+    p = workers
+    steps = 2 * (p - 1)
+    return steps * link.latency + 2 * (p - 1) / p * nbytes / link.bandwidth

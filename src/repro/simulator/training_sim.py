@@ -1,0 +1,166 @@
+"""Training-throughput simulation (Figure 11 and the Section 5.4 analysis).
+
+Combines the roofline cost model, the memory-capacity constraint, the
+compression overhead model, and the multi-node all-reduce model to
+answer the paper's performance questions:
+
+* images/s vs batch size, single GPU and multi-node (Figure 11);
+* the largest batch that fits with / without activation compression —
+  the mechanism by which saved memory becomes speedup;
+* the overhead decomposition of each memory policy (compression,
+  recomputation, migration; Section 5.4's ~17 % / ~7 % numbers and the
+  Layrub comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.models.registry import full_model_specs
+from repro.simulator.costmodel import (
+    LayerCost,
+    activation_bytes,
+    conv_activation_bytes_of,
+    gradient_bytes,
+    iteration_time,
+    model_costs,
+)
+from repro.simulator.gpu import DeviceSpec, V100
+from repro.simulator.interconnect import IB_EDR, Link, PCIE3_X16, migration_time, ring_allreduce_time
+
+__all__ = ["MemoryPolicyModel", "TrainingSimulator", "SimResult"]
+
+#: cuSZ compression + decompression throughput on V100 (Tian et al. 2020
+#: report tens of GB/s end to end; we use a conservative combined figure).
+CUSZ_THROUGHPUT = 80e9  # bytes/s, one direction
+
+
+@dataclass(frozen=True)
+class MemoryPolicyModel:
+    """How a policy transforms activation footprint and adds time.
+
+    ``ratio`` divides the saved-activation bytes; per-iteration overhead
+    is ``act_bytes/compress_bw + act_bytes/decompress_bw`` (codecs),
+    ``recompute_fraction * forward_time`` (recomputation), or a
+    migration round trip over ``link``.
+    """
+
+    name: str
+    ratio: float = 1.0
+    compress_bw: Optional[float] = None
+    decompress_bw: Optional[float] = None
+    recompute_fraction: float = 0.0
+    link: Optional[Link] = None
+
+    def overhead_s(self, act_bytes: float, fwd_time: float) -> float:
+        t = 0.0
+        if self.compress_bw:
+            t += act_bytes / self.compress_bw
+        if self.decompress_bw:
+            t += act_bytes / self.decompress_bw
+        if self.recompute_fraction:
+            t += self.recompute_fraction * fwd_time
+        if self.link is not None:
+            t += migration_time(act_bytes, self.link) + migration_time(
+                act_bytes / self.ratio if self.ratio > 1 else act_bytes, self.link
+            )
+        return t
+
+    def stored_bytes(self, act_bytes: float) -> float:
+        if self.link is not None:
+            return act_bytes * 0.10  # migrated out; pinned staging remains
+        return act_bytes / self.ratio
+
+
+BASELINE = MemoryPolicyModel("baseline")
+
+
+def our_policy(ratio: float = 11.0) -> MemoryPolicyModel:
+    """The paper's framework: cuSZ-speed codec at the measured ratio."""
+    return MemoryPolicyModel(
+        "ours", ratio=ratio, compress_bw=CUSZ_THROUGHPUT, decompress_bw=CUSZ_THROUGHPUT
+    )
+
+
+def layrub_like() -> MemoryPolicyModel:
+    """Layrub-class migration (the paper cites 2.4x memory, 24.1 % cost)."""
+    return MemoryPolicyModel("layrub", ratio=2.4, link=PCIE3_X16)
+
+
+@dataclass
+class SimResult:
+    batch: int
+    fits: bool
+    images_per_s: float
+    iteration_s: float
+    activation_gb: float
+    stored_gb: float
+
+
+class TrainingSimulator:
+    """Throughput/memory simulator for one model on one device."""
+
+    def __init__(
+        self,
+        model: str = "resnet50",
+        device: DeviceSpec = V100,
+        image_size: int = 224,
+        policy: MemoryPolicyModel = BASELINE,
+    ):
+        self.model = model
+        self.specs = full_model_specs(model)
+        self.device = device
+        self.image_size = image_size
+        self.policy = policy
+
+    def _costs(self, batch: int) -> Sequence[LayerCost]:
+        return model_costs(self.specs, batch, self.device, self.image_size)
+
+    def simulate(self, batch: int, workers: int = 1, link: Link = IB_EDR) -> SimResult:
+        """Simulate one iteration at *batch* per worker."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        costs = self._costs(batch)
+        act = float(activation_bytes(costs))
+        conv_act = float(conv_activation_bytes_of(costs))
+        other_act = act - conv_act
+        weights = float(gradient_bytes(costs))
+        fwd_time = sum(c.forward_s for c in costs)
+        t = iteration_time(costs) + self.device.iteration_overhead
+        # Policies act on the conv activations only (the paper's scope);
+        # ReLU masks, BN statistics etc. stay resident uncompressed.
+        t += self.policy.overhead_s(conv_act, fwd_time)
+        if workers > 1:
+            t += ring_allreduce_time(weights, workers, link)
+        stored = self.policy.stored_bytes(conv_act) + other_act
+        # Weights + gradients + momentum + workspace alongside activations.
+        resident = stored + 3.0 * weights + 0.5e9
+        fits = resident <= self.device.mem_capacity
+        images = batch * workers / t
+        return SimResult(
+            batch=batch,
+            fits=fits,
+            images_per_s=images,
+            iteration_s=t,
+            activation_gb=act / 1024**3,
+            stored_gb=stored / 1024**3,
+        )
+
+    def max_batch(self, upper: int = 4096) -> int:
+        """Largest per-worker batch that fits in device memory."""
+        best = 0
+        lo, hi = 1, upper
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.simulate(mid).fits:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def sweep(self, batches: Sequence[int], workers: int = 1) -> Dict[int, SimResult]:
+        return {b: self.simulate(b, workers=workers) for b in batches}

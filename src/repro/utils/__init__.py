@@ -1,0 +1,6 @@
+"""Shared small utilities (RNG handling, byte accounting)."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.sizes import nbytes_of, human_bytes
+
+__all__ = ["ensure_rng", "nbytes_of", "human_bytes"]

@@ -1,0 +1,27 @@
+"""Deterministic RNG plumbing.
+
+Every stochastic component in the library accepts either an integer seed,
+a :class:`numpy.random.Generator`, or ``None``; this helper normalizes all
+three so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *rng*.
+
+    ``None`` yields a fresh non-deterministic generator, an ``int`` seeds a
+    new generator, and an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

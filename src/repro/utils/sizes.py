@@ -1,0 +1,32 @@
+"""Byte accounting helpers used across compression and memory tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def nbytes_of(obj) -> int:
+    """Best-effort deep byte size of arrays / bytes / sequences thereof."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(nbytes_of(o) for o in obj)
+    if isinstance(obj, dict):
+        return sum(nbytes_of(v) for v in obj.values())
+    if isinstance(obj, (int, float, bool, np.integer, np.floating)):
+        return 8
+    raise TypeError(f"cannot size object of type {type(obj)!r}")
+
+
+def human_bytes(n: float) -> str:
+    """Render a byte count as a short human-readable string (e.g. '9.30 GB')."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            return f"{n:.2f} {unit}"
+        n /= 1024.0
+    return f"{n:.2f} TB"

@@ -1,0 +1,135 @@
+"""Error-injection methodology and distribution diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GradientErrorInjector,
+    conv_gradient_error_sample,
+    describe_sample,
+    inject_uniform_error,
+    sigma_within_fraction,
+)
+from repro.nn import Conv2D, Flatten, Linear, SGD, Sequential, SyntheticImageDataset, Trainer, batches
+
+
+class TestInjectUniform:
+    def test_error_bounded(self, rng):
+        x = rng.standard_normal((100, 100)).astype(np.float32)
+        y = inject_uniform_error(x, 1e-2, rng=rng)
+        assert np.abs(y - x).max() <= 1e-2
+
+    def test_preserve_zeros(self, rng):
+        x = np.maximum(rng.standard_normal((100, 100)), 0).astype(np.float32)
+        y = inject_uniform_error(x, 1e-2, preserve_zeros=True, rng=rng)
+        assert np.all(y[x == 0] == 0)
+        assert np.any(y[x != 0] != x[x != 0])
+
+    def test_error_roughly_uniform(self, rng):
+        x = np.zeros(200_000, dtype=np.float64)
+        y = inject_uniform_error(x, 1.0, rng=rng)
+        rep = describe_sample(y, uniform_bound=1.0)
+        assert rep.uniform_ks_pvalue > 1e-3
+        assert rep.std == pytest.approx(1 / np.sqrt(3), rel=0.02)
+
+    def test_rejects_bad_bound(self, rng):
+        with pytest.raises(ValueError):
+            inject_uniform_error(np.ones(4), 0.0)
+
+
+class TestConvGradientError:
+    def test_error_is_zero_mean_normal(self, rng):
+        """Figure 6a: injected uniform activation error -> normal gradient
+        error with ~68.2% of mass within one sigma."""
+        x = rng.standard_normal((8, 4, 16, 16)).astype(np.float32)
+        conv = Conv2D(4, 6, 3, padding=1, rng=1)
+        dout = rng.standard_normal((8, 6, 16, 16)).astype(np.float32) / 8
+        errs = conv_gradient_error_sample(conv, x, dout, 1e-3, trials=4, rng=2)
+        rep = describe_sample(errs)
+        assert abs(rep.mean) < 0.1 * rep.std
+        assert rep.within_one_sigma == pytest.approx(0.682, abs=0.03)
+
+    def test_preserving_zeros_shrinks_sigma(self, rng):
+        """Figure 6b: zero preservation reduces sigma by ~sqrt(R)."""
+        x = np.maximum(rng.standard_normal((8, 4, 16, 16)), 0).astype(np.float32)
+        r = np.count_nonzero(x) / x.size
+        conv = Conv2D(4, 6, 3, padding=1, rng=1)
+        dout = rng.standard_normal((8, 6, 16, 16)).astype(np.float32) / 8
+        full = conv_gradient_error_sample(conv, x, dout, 1e-3, trials=4, rng=2)
+        kept = conv_gradient_error_sample(
+            conv, x, dout, 1e-3, trials=4, preserve_zeros=True, rng=2
+        )
+        assert kept.std() < full.std()
+        assert kept.std() / full.std() == pytest.approx(np.sqrt(r), rel=0.1)
+
+    def test_sample_size(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        conv = Conv2D(3, 4, 3, rng=1)
+        dout = rng.standard_normal((2, 4, 6, 6)).astype(np.float32)
+        errs = conv_gradient_error_sample(conv, x, dout, 1e-3, trials=3, rng=2)
+        assert errs.size == 3 * conv.weight.size
+
+
+class TestGradientErrorInjector:
+    def _trainer(self):
+        net = Sequential([Flatten(), Linear(3 * 8 * 8, 4, rng=1)])
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        return Trainer(net, opt)
+
+    def test_injects_relative_sigma(self):
+        tr = self._trainer()
+        inj = GradientErrorInjector(0.1, rng=np.random.default_rng(0))
+        tr.grad_transforms.append(inj)
+        ds = SyntheticImageDataset(num_classes=4, image_size=8, seed=1)
+        tr.train(batches(ds, 8, 2, seed=0))
+        assert inj.last_sigma > 0
+
+    def test_zero_fraction_noop(self):
+        tr = self._trainer()
+        ds = SyntheticImageDataset(num_classes=4, image_size=8, seed=1)
+        x, y = ds.sample(8, rng=0)
+        inj = GradientErrorInjector(0.0)
+        tr.grad_transforms.append(inj)
+        tr.train_step(x, y)
+        assert inj.last_sigma == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GradientErrorInjector(-0.1)
+
+    def test_injected_noise_statistics(self, rng):
+        """Gradient after injection differs by ~N(0, fraction * mean|g|)."""
+        tr = self._trainer()
+        ds = SyntheticImageDataset(num_classes=4, image_size=8, seed=1)
+        x, y = ds.sample(64, rng=0)
+        logits = tr.network.forward(x)
+        _, d = tr.loss.forward(logits, y)
+        tr.network.backward(d)
+        g_before = np.concatenate([p.grad.reshape(-1).copy() for p in tr.optimizer.params])
+        inj = GradientErrorInjector(0.5, rng=np.random.default_rng(1))
+        inj(tr)
+        g_after = np.concatenate([p.grad.reshape(-1) for p in tr.optimizer.params])
+        noise = g_after - g_before
+        expected = 0.5 * np.abs(g_before).mean()
+        assert noise.std() == pytest.approx(expected, rel=0.1)
+
+
+class TestDistributionHelpers:
+    def test_within_one_sigma_normal(self, rng):
+        s = sigma_within_fraction(rng.normal(0, 2, 100_000))
+        assert s == pytest.approx(0.6827, abs=0.01)
+
+    def test_within_one_sigma_uniform(self, rng):
+        s = sigma_within_fraction(rng.uniform(-1, 1, 100_000))
+        assert s == pytest.approx(1 / np.sqrt(3), abs=0.01)
+
+    def test_describe_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            describe_sample(np.ones(3))
+
+    def test_describe_normal_sample(self, rng):
+        rep = describe_sample(rng.normal(1.0, 3.0, 50_000))
+        assert rep.mean == pytest.approx(1.0, abs=0.1)
+        assert rep.std == pytest.approx(3.0, rel=0.05)
+        assert rep.normal_ks_pvalue > 0.01
+        assert rep.n == 50_000

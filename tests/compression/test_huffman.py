@@ -1,0 +1,157 @@
+"""Huffman codec: prefix property, roundtrips, both decoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.szlike import (
+    HuffmanCodebook,
+    build_codebook,
+    entropy_bits,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.compression.szlike.huffman import MAX_CODE_LENGTH
+
+
+def _roundtrip(symbols, alphabet, chunked=True):
+    cb = build_codebook(symbols, alphabet)
+    payload, bits, chunks = huffman_encode(symbols, cb)
+    decoded = huffman_decode(
+        payload, bits, symbols.size, cb, chunk_offsets=chunks if chunked else None
+    )
+    return decoded.astype(symbols.dtype)
+
+
+class TestCodebook:
+    def test_kraft_equality(self, rng):
+        syms = rng.integers(0, 64, size=5000).astype(np.uint16)
+        cb = build_codebook(syms, 64)
+        assert cb.kraft_sum() == pytest.approx(1.0)
+
+    def test_frequent_symbols_shorter(self, rng):
+        syms = np.concatenate([np.zeros(10_000), rng.integers(1, 32, size=100)]).astype(np.uint16)
+        cb = build_codebook(syms, 32)
+        assert cb.lengths[0] <= cb.lengths[1:][cb.lengths[1:] > 0].min()
+
+    def test_single_symbol_alphabet(self):
+        syms = np.full(100, 7, dtype=np.uint16)
+        cb = build_codebook(syms, 16)
+        assert cb.lengths[7] == 1
+        assert np.count_nonzero(cb.lengths) == 1
+
+    def test_length_limit_enforced(self, rng):
+        # Exponential frequencies force deep trees without limiting.
+        freqs = np.array([2**i for i in range(40)], dtype=np.int64)
+        cb = HuffmanCodebook.from_frequencies(freqs)
+        assert cb.max_length <= MAX_CODE_LENGTH
+        assert cb.kraft_sum() <= 1.0 + 1e-12
+
+    def test_prefix_free(self, rng):
+        syms = rng.integers(0, 100, size=2000).astype(np.uint16)
+        cb = build_codebook(syms, 128)
+        present = np.nonzero(cb.lengths)[0]
+        words = [
+            format(int(cb.codes[s]), f"0{int(cb.lengths[s])}b") for s in present
+        ]
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCodebook.from_frequencies(np.zeros(8, dtype=np.int64))
+
+    def test_codebook_nbytes_positive(self, rng):
+        syms = rng.integers(0, 16, size=100).astype(np.uint16)
+        assert build_codebook(syms, 16).nbytes > 0
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("chunked", [True, False])
+    def test_uniform_symbols(self, rng, chunked):
+        syms = rng.integers(0, 256, size=10_000).astype(np.uint16)
+        assert np.array_equal(_roundtrip(syms, 256, chunked), syms)
+
+    @pytest.mark.parametrize("chunked", [True, False])
+    def test_skewed_symbols(self, rng, chunked):
+        syms = np.minimum(rng.geometric(0.3, size=20_000), 63).astype(np.uint16)
+        assert np.array_equal(_roundtrip(syms, 64, chunked), syms)
+
+    @pytest.mark.parametrize("chunked", [True, False])
+    def test_single_distinct_symbol(self, chunked):
+        syms = np.full(500, 3, dtype=np.uint16)
+        assert np.array_equal(_roundtrip(syms, 8, chunked), syms)
+
+    def test_one_symbol_stream(self):
+        syms = np.array([5], dtype=np.uint16)
+        assert np.array_equal(_roundtrip(syms, 8), syms)
+
+    def test_exact_chunk_multiple(self, rng):
+        from repro.compression.szlike.huffman import DEFAULT_CHUNK
+
+        syms = rng.integers(0, 16, size=2 * DEFAULT_CHUNK).astype(np.uint16)
+        assert np.array_equal(_roundtrip(syms, 16), syms)
+
+    def test_decoders_agree(self, rng):
+        syms = rng.integers(0, 512, size=30_000).astype(np.uint16)
+        cb = build_codebook(syms, 512)
+        payload, bits, chunks = huffman_encode(syms, cb)
+        a = huffman_decode(payload, bits, syms.size, cb, chunk_offsets=chunks)
+        b = huffman_decode(payload, bits, syms.size, cb, chunk_offsets=None)
+        assert np.array_equal(a, b)
+
+    def test_empty_stream(self):
+        cb = HuffmanCodebook.from_frequencies(np.array([1, 1]))
+        payload, bits, chunks = huffman_encode(np.zeros(0, dtype=np.uint16), cb)
+        assert payload == b""
+        out = huffman_decode(payload, bits, 0, cb)
+        assert out.size == 0
+
+
+class TestCompression:
+    def test_beats_fixed_width_on_skewed(self, rng):
+        syms = np.minimum(rng.geometric(0.5, size=50_000), 255).astype(np.uint16)
+        cb = build_codebook(syms, 256)
+        payload, bits, _ = huffman_encode(syms, cb)
+        assert bits < 8 * syms.size  # 8 bits/symbol fixed width
+
+    def test_near_entropy(self, rng):
+        syms = np.minimum(rng.geometric(0.4, size=50_000), 63).astype(np.uint16)
+        cb = build_codebook(syms, 64)
+        _, bits, _ = huffman_encode(syms, cb)
+        h = entropy_bits(syms, 64)
+        assert bits <= h + syms.size  # within 1 bit/symbol of entropy
+
+    def test_entropy_bits_uniform(self):
+        syms = np.arange(16, dtype=np.uint16).repeat(100)
+        assert entropy_bits(syms, 16) == pytest.approx(4.0 * syms.size)
+
+    def test_entropy_bits_constant_is_zero(self):
+        assert entropy_bits(np.zeros(100, dtype=np.uint16), 16) == 0.0
+
+
+class TestErrors:
+    def test_symbol_without_code_rejected(self, rng):
+        syms = rng.integers(0, 8, size=100).astype(np.uint16)
+        cb = build_codebook(syms, 16)
+        bad = np.array([15], dtype=np.uint16)
+        with pytest.raises(ValueError):
+            huffman_encode(bad, cb)
+
+    def test_truncated_payload_detected(self, rng):
+        syms = rng.integers(0, 8, size=100).astype(np.uint16)
+        cb = build_codebook(syms, 8)
+        payload, bits, _ = huffman_encode(syms, cb)
+        with pytest.raises(ValueError):
+            huffman_decode(payload[: len(payload) // 2], bits, 100, cb, None)
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=3000))
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip(values):
+    syms = np.array(values, dtype=np.uint16)
+    assert np.array_equal(_roundtrip(syms, 32, chunked=True), syms)
+    assert np.array_equal(_roundtrip(syms, 32, chunked=False), syms)

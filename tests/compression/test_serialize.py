@@ -1,0 +1,65 @@
+"""Byte serialization of compressed tensors."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor
+from repro.compression.szlike.serialize import dumps, loads
+
+
+@pytest.mark.parametrize("entropy", ["huffman", "zlib", "huffman+zlib", "none"])
+def test_roundtrip_all_entropy_stages(activation_tensor, entropy):
+    comp = SZCompressor(1e-3, entropy=entropy)
+    ct = comp.compress(activation_tensor)
+    blob = dumps(ct)
+    back = loads(blob)
+    y1 = comp.decompress(ct)
+    y2 = comp.decompress(back)
+    np.testing.assert_array_equal(y1, y2)
+
+
+def test_serialized_size_close_to_accounting(activation_tensor):
+    comp = SZCompressor(1e-3, entropy="huffman")
+    ct = comp.compress(activation_tensor)
+    blob = dumps(ct)
+    # byte string within 2x of the nbytes accounting (headers differ)
+    assert 0.5 * ct.nbytes < len(blob) < 2.0 * ct.nbytes
+
+
+def test_metadata_preserved(dense_tensor):
+    comp = SZCompressor(5e-4, entropy="huffman", zero_filter=False)
+    ct = comp.compress(dense_tensor)
+    back = loads(dumps(ct))
+    assert back.shape == ct.shape
+    assert back.dtype == ct.dtype
+    assert back.error_bound == ct.error_bound
+    assert back.zero_filter == ct.zero_filter
+    assert back.count == ct.count
+
+
+def test_with_outliers(rng):
+    x = rng.standard_normal((16, 16)).astype(np.float32)
+    x[::4, ::4] += 1e5
+    comp = SZCompressor(1e-3, entropy="zlib")
+    ct = comp.compress(x)
+    assert ct.outliers.size > 0
+    back = loads(dumps(ct))
+    np.testing.assert_array_equal(comp.decompress(back), comp.decompress(ct))
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError):
+        loads(b"XXXX" + b"\x00" * 64)
+
+
+def test_truncated_rejected(activation_tensor):
+    ct = SZCompressor(1e-3, entropy="zlib").compress(activation_tensor)
+    blob = dumps(ct)
+    with pytest.raises(Exception):
+        loads(blob[: len(blob) - 10] )
+
+
+def test_trailing_garbage_rejected(activation_tensor):
+    ct = SZCompressor(1e-3, entropy="zlib").compress(activation_tensor)
+    with pytest.raises(ValueError):
+        loads(dumps(ct) + b"junk")

@@ -1,0 +1,148 @@
+"""Error-propagation model: formulas, inversion, and agreement with the
+real conv backward pass under error injection (the Section 3.2 claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import conv_gradient_error_sample
+from repro.core import (
+    PAPER_COEFFICIENT_A,
+    THEORY_COEFFICIENT_A,
+    error_bound_for_sigma,
+    fit_coefficient,
+    predict_sigma,
+)
+from repro.nn import Conv2D
+
+
+class TestFormulas:
+    def test_sigma_scales_linearly_with_eb(self):
+        s1 = predict_sigma(1e-3, 0.5, 1000)
+        s2 = predict_sigma(2e-3, 0.5, 1000)
+        assert s2 == pytest.approx(2 * s1)
+
+    def test_sigma_sqrt_in_elements(self):
+        """Paper: '2x increase of elements results in sqrt(2)x sigma'."""
+        s1 = predict_sigma(1e-3, 0.5, 1000)
+        s2 = predict_sigma(1e-3, 0.5, 2000)
+        assert s2 == pytest.approx(np.sqrt(2) * s1)
+
+    def test_sigma_sqrt_in_sparsity(self):
+        """Eq. 7: sigma' = sigma * sqrt(R)."""
+        dense = predict_sigma(1e-3, 0.5, 1000, nonzero_ratio=1.0)
+        half = predict_sigma(1e-3, 0.5, 1000, nonzero_ratio=0.5)
+        assert half == pytest.approx(dense * np.sqrt(0.5))
+
+    def test_inversion_roundtrip(self):
+        eb = error_bound_for_sigma(1e-4, 0.3, 4096, nonzero_ratio=0.4)
+        sigma = predict_sigma(eb, 0.3, 4096, nonzero_ratio=0.4)
+        assert sigma == pytest.approx(1e-4)
+
+    def test_theory_coefficient_is_uniform_std(self):
+        assert THEORY_COEFFICIENT_A == pytest.approx(1 / np.sqrt(3))
+
+    def test_paper_coefficient_documented(self):
+        assert PAPER_COEFFICIENT_A == 0.32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_sigma(-1.0, 0.5, 100)
+        with pytest.raises(ValueError):
+            predict_sigma(1e-3, 0.5, 0)
+        with pytest.raises(ValueError):
+            predict_sigma(1e-3, 0.5, 100, nonzero_ratio=1.5)
+        with pytest.raises(ValueError):
+            error_bound_for_sigma(0.0, 0.5, 100)
+        with pytest.raises(ValueError):
+            error_bound_for_sigma(1e-4, 0.0, 100)
+
+
+class TestFit:
+    def test_recovers_planted_coefficient(self, rng):
+        a_true = 0.47
+        ebs = rng.uniform(1e-4, 1e-2, 30)
+        ls = rng.uniform(0.1, 2.0, 30)
+        ms = rng.integers(100, 10_000, 30)
+        sig = a_true * ls * np.sqrt(ms) * ebs
+        a = fit_coefficient(sig, ebs, ls, ms)
+        assert a == pytest.approx(a_true, rel=1e-6)
+
+    def test_fit_with_sparsity(self, rng):
+        a_true = 0.6
+        ebs = rng.uniform(1e-4, 1e-2, 20)
+        ls = rng.uniform(0.1, 2.0, 20)
+        ms = rng.integers(100, 10_000, 20)
+        rs = rng.uniform(0.2, 1.0, 20)
+        sig = a_true * ls * np.sqrt(ms * rs) * ebs
+        a = fit_coefficient(sig, ebs, ls, ms, rs)
+        assert a == pytest.approx(a_true, rel=1e-6)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_coefficient([], [], [], [])
+        with pytest.raises(ValueError):
+            fit_coefficient([1.0], [0.0], [0.0], [1])
+
+
+class TestAgainstRealBackward:
+    """The load-bearing claim: the formula predicts the measured sigma of
+    the *actual* conv backward pass under injected activation error."""
+
+    @pytest.mark.parametrize("n,c,h,cout,k", [(8, 4, 12, 6, 3), (16, 8, 8, 4, 3)])
+    def test_dense_prediction_within_15pct(self, rng, n, c, h, cout, k):
+        x = rng.standard_normal((n, c, h, h)).astype(np.float32) + 3.0  # dense
+        conv = Conv2D(c, cout, k, padding=1, rng=5)
+        ho = h  # padded same-size
+        dout = rng.standard_normal((n, cout, ho, ho)).astype(np.float32) / n
+        eb = 1e-3
+        errs = conv_gradient_error_sample(conv, x, dout, eb, trials=4, rng=9)
+        measured = errs.std()
+        lrms = float(np.sqrt((dout.astype(np.float64) ** 2).mean()))
+        predicted = predict_sigma(eb, lrms, n * ho * ho)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_sparse_prediction_needs_sqrt_r(self, rng):
+        """With zeros preserved, only the sqrt(R)-corrected prediction fits."""
+        x = np.maximum(rng.standard_normal((8, 4, 16, 16)), 0).astype(np.float32)
+        r = np.count_nonzero(x) / x.size
+        conv = Conv2D(4, 6, 3, padding=1, rng=5)
+        dout = rng.standard_normal((8, 6, 16, 16)).astype(np.float32) / 8
+        eb = 1e-3
+        errs = conv_gradient_error_sample(
+            conv, x, dout, eb, trials=4, preserve_zeros=True, rng=9
+        )
+        measured = errs.std()
+        lrms = float(np.sqrt((dout.astype(np.float64) ** 2).mean()))
+        with_r = predict_sigma(eb, lrms, 8 * 16 * 16, nonzero_ratio=r)
+        without_r = predict_sigma(eb, lrms, 8 * 16 * 16)
+        assert measured == pytest.approx(with_r, rel=0.15)
+        assert abs(measured - without_r) > abs(measured - with_r)
+
+    def test_fitted_coefficient_is_stable_across_layers(self, rng):
+        """Figure 8 in miniature: one coefficient fits every layer."""
+        fits = []
+        for (n, c, h, cout) in [(8, 4, 12, 6), (4, 8, 16, 8), (16, 2, 8, 4)]:
+            x = (rng.standard_normal((n, c, h, h)) + 2.5).astype(np.float32)
+            conv = Conv2D(c, cout, 3, padding=1, rng=5)
+            dout = rng.standard_normal((n, cout, h, h)).astype(np.float32) / n
+            eb = 1e-3
+            errs = conv_gradient_error_sample(conv, x, dout, eb, trials=3, rng=9)
+            lrms = float(np.sqrt((dout.astype(np.float64) ** 2).mean()))
+            a = fit_coefficient([errs.std()], [eb], [lrms], [n * h * h])
+            fits.append(a / np.sqrt(3) * np.sqrt(3))  # raw coefficient
+        fits = np.array(fits)
+        assert fits.std() / fits.mean() < 0.15
+        assert fits.mean() == pytest.approx(THEORY_COEFFICIENT_A, rel=0.15)
+
+
+@given(
+    st.floats(1e-6, 1e-1), st.floats(1e-3, 10.0),
+    st.integers(1, 10**6), st.floats(0.01, 1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_inversion(sigma, lscale, m, r):
+    eb = error_bound_for_sigma(sigma, lscale, m, nonzero_ratio=r)
+    back = predict_sigma(eb, lscale, m, nonzero_ratio=r)
+    assert back == pytest.approx(sigma, rel=1e-9)

@@ -1,0 +1,131 @@
+"""Containers: Sequential, Residual, layer iteration, context install."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Residual,
+    SavedTensorContext,
+    Sequential,
+    iter_layers,
+    set_saved_ctx,
+)
+
+
+@pytest.fixture
+def small_net():
+    return Sequential([
+        Conv2D(3, 4, 3, padding=1, rng=1), ReLU(), MaxPool2D(2),
+        Residual(Sequential([Conv2D(4, 4, 3, padding=1, rng=2), ReLU()])),
+        Flatten(), Linear(4 * 4 * 4, 3, rng=3),
+    ])
+
+
+class TestSequential:
+    def test_forward_shape(self, small_net, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        assert small_net.forward(x).shape == (2, 3)
+
+    def test_output_shape_matches_forward(self, small_net, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        assert small_net.output_shape(x.shape) == small_net.forward(x).shape
+
+    def test_backward_shape(self, small_net, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        out = small_net.forward(x)
+        dx = small_net.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_parameters_collected_recursively(self, small_net):
+        # conv(w,b) + conv(w,b) + linear(w,b)
+        assert len(small_net.parameters()) == 6
+
+    def test_train_flag_propagates(self, small_net):
+        small_net.eval()
+        assert all(not l.training for l in iter_layers(small_net))
+        small_net.train()
+        assert all(l.training for l in iter_layers(small_net))
+
+    def test_indexing_and_len(self, small_net):
+        assert len(small_net) == 6
+        assert isinstance(small_net[0], Conv2D)
+
+
+class TestResidual:
+    def test_identity_shortcut_adds(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        inner = Conv2D(3, 3, 3, padding=1, rng=1)
+        block = Residual(inner)
+        np.testing.assert_allclose(block.forward(x), inner.forward(x) + x, rtol=1e-6)
+
+    def test_shape_mismatch_rejected(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        block = Residual(Conv2D(3, 5, 3, padding=1, rng=1))  # channel change, no shortcut
+        with pytest.raises(ValueError):
+            block.forward(x)
+
+    def test_gradient_sums_both_branches(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        conv = Conv2D(3, 3, 1, bias=False, rng=1)
+        conv.weight.data[:] = 0.0  # main branch contributes nothing
+        block = Residual(conv)
+        out = block.forward(x)
+        dout = rng.standard_normal(out.shape).astype(np.float32)
+        dx = block.backward(dout)
+        np.testing.assert_allclose(dx, dout, rtol=1e-6)  # identity path only
+
+
+class TestIterAndContext:
+    def test_iter_layers_flattens(self, small_net):
+        kinds = [type(l).__name__ for l in iter_layers(small_net)]
+        assert kinds == ["Conv2D", "ReLU", "MaxPool2D", "Conv2D", "ReLU", "Flatten", "Linear"]
+
+    def test_set_saved_ctx_predicate(self, small_net):
+        ctx = SavedTensorContext()
+        n = set_saved_ctx(small_net, ctx, predicate=lambda l: l.compressible)
+        assert n == 2  # two conv layers
+        convs = [l for l in iter_layers(small_net) if isinstance(l, Conv2D)]
+        assert all(c.saved_ctx is ctx for c in convs)
+
+    def test_set_saved_ctx_all(self, small_net):
+        ctx = SavedTensorContext()
+        n = set_saved_ctx(small_net, ctx)
+        assert n == 7
+
+    def test_custom_ctx_intercepts(self, rng):
+        calls = []
+
+        class Spy(SavedTensorContext):
+            def pack(self, layer, key, arr):
+                calls.append(("pack", layer.name, key))
+                return arr
+
+            def unpack(self, layer, key, handle):
+                calls.append(("unpack", layer.name, key))
+                return handle
+
+        conv = Conv2D(3, 2, 3, rng=1, name="spyconv")
+        conv.saved_ctx = Spy()
+        x = rng.standard_normal((1, 3, 5, 5)).astype(np.float32)
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        assert ("pack", "spyconv", "x") in calls
+        assert ("unpack", "spyconv", "x") in calls
+
+    def test_clear_saved_calls_discard(self, rng):
+        discarded = []
+
+        class Spy(SavedTensorContext):
+            def discard(self, layer, key, handle):
+                discarded.append(key)
+
+        conv = Conv2D(3, 2, 3, rng=1)
+        conv.saved_ctx = Spy()
+        conv.forward(rng.standard_normal((1, 3, 5, 5)).astype(np.float32))
+        conv.clear_saved()
+        assert discarded == ["x"]

@@ -1,0 +1,112 @@
+"""Optimizer and LR-schedule behaviour (momentum introspection included)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ConstantLR, Parameter, SGD, StepLR
+
+
+def _params(rng, n=2):
+    return [Parameter(rng.standard_normal((3, 3)), name=f"p{i}") for i in range(n)]
+
+
+class TestSGD:
+    def test_plain_sgd_step(self, rng):
+        p = Parameter(np.ones((2, 2)))
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        p.grad[:] = 1.0
+        opt.step()
+        np.testing.assert_allclose(p.data, 0.9)
+
+    def test_momentum_accumulates(self, rng):
+        p = Parameter(np.zeros((2,)))
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = 1.0
+        opt.step()  # v=1, w=-1
+        p.grad[:] = 1.0
+        opt.step()  # v=1.5, w=-2.5
+        np.testing.assert_allclose(p.data, -2.5)
+
+    def test_weight_decay(self):
+        p = Parameter(np.full((2,), 10.0))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1)
+        p.grad[:] = 0.0
+        opt.step()
+        np.testing.assert_allclose(p.data, 10.0 - 0.1 * 0.1 * 10.0)
+
+    def test_zero_grad(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1)
+        for p in ps:
+            p.grad[:] = 5.0
+        opt.zero_grad()
+        assert all(np.all(p.grad == 0) for p in ps)
+
+    def test_iteration_counter(self, rng):
+        opt = SGD(_params(rng), lr=0.1)
+        for _ in range(3):
+            opt.step()
+        assert opt.iteration == 3
+
+    def test_momentum_buffer_access(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1, momentum=0.9)
+        ps[0].grad[:] = 2.0
+        opt.step()
+        np.testing.assert_allclose(opt.momentum_buffer(ps[0]), 2.0)
+
+    def test_average_momentum_magnitude(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1, momentum=0.9)
+        assert opt.average_momentum_magnitude() == 0.0
+        for p in ps:
+            p.grad[:] = -3.0
+        opt.step()
+        assert opt.average_momentum_magnitude() == pytest.approx(3.0)
+
+    def test_average_gradient_magnitude(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1)
+        for p in ps:
+            p.grad[:] = 4.0
+        assert opt.average_gradient_magnitude() == pytest.approx(4.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            SGD(_params(rng), lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(_params(rng), lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestSchedules:
+    def test_constant(self, rng):
+        opt = SGD(_params(rng), lr=0.5)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == 0.5
+
+    def test_step_decay(self, rng):
+        opt = SGD(_params(rng), lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_step_validation(self, rng):
+        opt = SGD(_params(rng), lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+
+
+class TestConvergence:
+    def test_sgd_solves_quadratic(self, rng):
+        """min ||w - target||^2 converges with momentum."""
+        target = rng.standard_normal((4, 4)).astype(np.float32)
+        p = Parameter(np.zeros((4, 4)))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(400):
+            opt.zero_grad()
+            p.grad += 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)

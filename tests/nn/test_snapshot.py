@@ -1,0 +1,77 @@
+"""Snapshot save/restore (the Figure 9 pre-train-and-replay mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_scaled_model
+from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+from repro.nn.snapshot import load_snapshot, save_snapshot
+
+
+@pytest.fixture
+def setup(tmp_path):
+    ds = SyntheticImageDataset(num_classes=4, image_size=16, seed=3)
+    net = build_scaled_model("resnet18", num_classes=4, image_size=16, rng=1)
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+    tr = Trainer(net, opt)
+    tr.train(batches(ds, 8, 6, seed=0))
+    path = str(tmp_path / "snap.npz")
+    return ds, net, opt, tr, path
+
+
+def test_roundtrip_restores_weights(setup):
+    ds, net, opt, tr, path = setup
+    save_snapshot(path, net, opt)
+    before = [p.data.copy() for p in net.parameters()]
+    tr.train(batches(ds, 8, 4, seed=1))  # drift the weights
+    load_snapshot(path, net, opt)
+    for b, p in zip(before, net.parameters()):
+        np.testing.assert_array_equal(b, p.data)
+
+
+def test_momentum_and_counters_restored(setup):
+    ds, net, opt, tr, path = setup
+    save_snapshot(path, net, opt)
+    v_before = [opt.momentum_buffer(p).copy() for p in net.parameters()]
+    it_before, lr_before = opt.iteration, opt.lr
+    tr.train(batches(ds, 8, 4, seed=1))
+    opt.lr = 0.5
+    load_snapshot(path, net, opt)
+    assert opt.iteration == it_before
+    assert opt.lr == lr_before
+    for v, p in zip(v_before, net.parameters()):
+        np.testing.assert_array_equal(v, opt.momentum_buffer(p))
+
+
+def test_bn_running_stats_restored(setup):
+    from repro.nn import BatchNorm2D, iter_layers
+
+    ds, net, opt, tr, path = setup
+    bn = next(l for l in iter_layers(net) if isinstance(l, BatchNorm2D))
+    save_snapshot(path, net)
+    saved_mean = bn.running_mean.copy()
+    tr.train(batches(ds, 8, 4, seed=1))
+    assert not np.array_equal(bn.running_mean, saved_mean)
+    load_snapshot(path, net)
+    np.testing.assert_array_equal(bn.running_mean, saved_mean)
+
+
+def test_replay_is_deterministic(setup):
+    """Training resumed from a snapshot reproduces the same trajectory."""
+    ds, net, opt, tr, path = setup
+    save_snapshot(path, net, opt)
+    tr1 = Trainer(net, opt)
+    tr1.train(batches(ds, 8, 5, seed=9))
+    losses1 = tr1.history.losses
+    load_snapshot(path, net, opt)
+    tr2 = Trainer(net, opt)
+    tr2.train(batches(ds, 8, 5, seed=9))
+    np.testing.assert_allclose(losses1, tr2.history.losses, rtol=1e-6)
+
+
+def test_architecture_mismatch_rejected(setup, tmp_path):
+    ds, net, opt, tr, path = setup
+    save_snapshot(path, net, opt)
+    other = build_scaled_model("alexnet", num_classes=4, image_size=16, rng=2)
+    with pytest.raises((KeyError, ValueError)):
+        load_snapshot(path, other)

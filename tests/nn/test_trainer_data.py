@@ -1,0 +1,147 @@
+"""Trainer loop, hooks, history, and the synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    SGD,
+    Sequential,
+    StepLR,
+    SyntheticImageDataset,
+    Trainer,
+    batches,
+)
+
+
+def tiny_net(rng_seed=1, classes=4):
+    return Sequential([
+        Conv2D(3, 6, 3, padding=1, rng=rng_seed), ReLU(), MaxPool2D(2),
+        Flatten(), Linear(6 * 8 * 8, classes, rng=rng_seed + 1),
+    ])
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticImageDataset(num_classes=4, image_size=16, channels=3, seed=3)
+
+
+class TestDataset:
+    def test_sample_shapes_and_types(self, dataset):
+        x, y = dataset.sample(8, rng=0)
+        assert x.shape == (8, 3, 16, 16)
+        assert x.dtype == np.float32
+        assert y.shape == (8,)
+        assert y.dtype == np.int64
+        assert set(np.unique(y)).issubset(set(range(4)))
+
+    def test_deterministic_with_seed(self, dataset):
+        x1, y1 = dataset.sample(8, rng=5)
+        x2, y2 = dataset.sample(8, rng=5)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_fixed_eval_set_stable(self, dataset):
+        x1, y1 = dataset.fixed_eval_set(32)
+        x2, y2 = dataset.fixed_eval_set(32)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_classes_distinguishable(self, dataset):
+        """Same-class images correlate more than cross-class ones."""
+        xa, _ = dataset.sample(1, rng=np.random.default_rng(1))
+        # build aligned class samples directly from templates
+        t0, t1 = dataset.templates[0], dataset.templates[1]
+        assert np.abs(t0 - t1).max() > 0.1
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=1)
+
+    def test_batches_iterator(self, dataset):
+        got = list(batches(dataset, 4, 3, seed=0))
+        assert len(got) == 3
+        assert all(x.shape == (4, 3, 16, 16) for x, _ in got)
+
+
+class TestTrainer:
+    def test_history_recorded(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.01))
+        tr.train(batches(dataset, 8, 5, seed=0))
+        assert len(tr.history.records) == 5
+        assert tr.iteration == 5
+        assert np.isfinite(tr.history.losses).all()
+
+    def test_loss_decreases(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.02, momentum=0.9))
+        tr.train(batches(dataset, 16, 60, seed=0))
+        assert tr.history.losses[-10:].mean() < tr.history.losses[:10].mean()
+
+    def test_max_iterations_caps(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.01))
+        tr.train(batches(dataset, 8, 10, seed=0), max_iterations=4)
+        assert tr.iteration == 4
+
+    def test_post_backward_hook_sees_grads(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.01))
+        seen = []
+
+        def hook(trainer, record):
+            g = trainer.optimizer.average_gradient_magnitude()
+            seen.append(g)
+
+        tr.post_backward_hooks.append(hook)
+        tr.train(batches(dataset, 8, 3, seed=0))
+        assert len(seen) == 3
+        assert all(g > 0 for g in seen)
+
+    def test_grad_transform_applied_before_step(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.01, momentum=0.0))
+
+        def zero_all(trainer):
+            for p in trainer.optimizer.params:
+                p.grad[:] = 0.0
+
+        tr.grad_transforms.append(zero_all)
+        before = [p.data.copy() for p in net.parameters()]
+        tr.train(batches(dataset, 8, 2, seed=0))
+        for b, p in zip(before, net.parameters()):
+            np.testing.assert_array_equal(b, p.data)  # updates nulled
+
+    def test_lr_schedule_steps(self, dataset):
+        net = tiny_net()
+        opt = SGD(net.parameters(), lr=1.0)
+        tr = Trainer(net, opt, lr_schedule=StepLR(opt, step_size=1, gamma=0.5))
+        tr.train(batches(dataset, 8, 3, seed=0))
+        assert opt.lr == pytest.approx(0.125)
+
+    def test_evaluate_runs_in_eval_mode(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.01))
+        x, y = dataset.fixed_eval_set(40)
+        acc = tr.evaluate(x, y, batch_size=16)
+        assert 0.0 <= acc <= 1.0
+        assert net.training  # restored to train mode
+
+    def test_smoothed_accuracy(self, dataset):
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.01))
+        tr.train(batches(dataset, 8, 25, seed=0))
+        sm = tr.history.smoothed_accuracy(window=5)
+        assert sm.size == 21
+
+    def test_training_learns_task(self, dataset):
+        """End-to-end: the substrate trains a real classifier."""
+        net = tiny_net()
+        tr = Trainer(net, SGD(net.parameters(), lr=0.02, momentum=0.9))
+        tr.train(batches(dataset, 32, 80, seed=0))
+        x, y = dataset.fixed_eval_set(200)
+        assert tr.evaluate(x, y) > 0.8

@@ -1,0 +1,160 @@
+"""Performance simulator: cost model, interconnects, throughput shapes."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    BASELINE,
+    IB_EDR,
+    NVLINK2,
+    PCIE3_X16,
+    TrainingSimulator,
+    V100,
+    V100_32GB,
+    activation_bytes,
+    gradient_bytes,
+    iteration_time,
+    layrub_like,
+    migration_time,
+    model_costs,
+    our_policy,
+    ring_allreduce_time,
+)
+from repro.models import full_model_specs
+
+
+class TestInterconnect:
+    def test_migration_time_linear_in_bytes(self):
+        t1 = migration_time(1e9, PCIE3_X16)
+        t2 = migration_time(2e9, PCIE3_X16)
+        assert t2 > t1
+        assert (t2 - PCIE3_X16.latency) == pytest.approx(2 * (t1 - PCIE3_X16.latency))
+
+    def test_nvlink_faster_than_pcie(self):
+        assert migration_time(1e9, NVLINK2) < migration_time(1e9, PCIE3_X16)
+
+    def test_allreduce_single_worker_free(self):
+        assert ring_allreduce_time(1e9, 1, IB_EDR) == 0.0
+
+    def test_allreduce_bandwidth_term(self):
+        """2(p-1)/p * bytes / bw dominates for large buffers."""
+        t = ring_allreduce_time(1e9, 4, IB_EDR)
+        expected = 2 * 3 / 4 * 1e9 / IB_EDR.bandwidth
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_allreduce_grows_sublinearly_with_workers(self):
+        t4 = ring_allreduce_time(1e9, 4, IB_EDR)
+        t16 = ring_allreduce_time(1e9, 16, IB_EDR)
+        assert t16 < 2 * t4  # (p-1)/p saturates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            migration_time(-1, PCIE3_X16)
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1e9, 0, IB_EDR)
+
+
+class TestCostModel:
+    def test_costs_positive_and_complete(self):
+        specs = full_model_specs("alexnet")
+        costs = model_costs(specs, 32, V100)
+        assert all(c.forward_s > 0 and c.backward_s > 0 for c in costs)
+        assert iteration_time(costs) > 0
+
+    def test_backward_costs_more_than_forward(self):
+        costs = model_costs(full_model_specs("resnet18"), 32, V100)
+        assert sum(c.backward_s for c in costs) > sum(c.forward_s for c in costs)
+
+    def test_activation_bytes_match_registry(self):
+        from repro.models import total_saved_bytes
+
+        costs = model_costs(full_model_specs("vgg16"), 64, V100)
+        assert activation_bytes(costs) == total_saved_bytes("vgg16", 64)
+
+    def test_gradient_bytes_match_weights(self):
+        from repro.models import weight_bytes
+
+        costs = model_costs(full_model_specs("resnet50"), 8, V100)
+        assert gradient_bytes(costs) == weight_bytes("resnet50")
+
+
+class TestThroughputShapes:
+    """The qualitative Figure 11 behaviours."""
+
+    def test_throughput_increases_with_batch(self):
+        sim = TrainingSimulator("resnet50", V100)
+        t8 = sim.simulate(8).images_per_s
+        t64 = sim.simulate(64).images_per_s
+        assert t64 > t8
+
+    def test_throughput_saturates(self):
+        sim = TrainingSimulator("resnet50", V100)
+        t64 = sim.simulate(64).images_per_s
+        t256 = sim.simulate(256).images_per_s
+        gain_small = sim.simulate(16).images_per_s / sim.simulate(2).images_per_s
+        gain_large = t256 / t64
+        assert gain_small > gain_large  # diminishing returns
+
+    def test_memory_limits_batch(self):
+        sim = TrainingSimulator("resnet50", V100)
+        assert not sim.simulate(512).fits
+        assert sim.simulate(16).fits
+
+    def test_compression_raises_max_batch(self):
+        """The paper's speedup mechanism: saved memory -> larger batch.
+        VGG-16 (no BatchNorm copies) gains the most; BN-heavy ResNet-50
+        keeps uncompressible normalization tensors resident."""
+        for model, factor in (("vgg16", 2.0), ("resnet50", 1.5)):
+            base = TrainingSimulator(model, V100, policy=BASELINE)
+            ours = TrainingSimulator(model, V100, policy=our_policy(11.0))
+            assert ours.max_batch() > factor * base.max_batch()
+
+    def test_larger_device_larger_batch(self):
+        b16 = TrainingSimulator("resnet50", V100).max_batch()
+        b32 = TrainingSimulator("resnet50", V100_32GB).max_batch()
+        assert b32 > b16
+
+    def test_compression_overhead_moderate_same_batch(self):
+        """Section 5.4: ~17% overhead at the same batch size."""
+        base = TrainingSimulator("resnet50", V100).simulate(32)
+        ours = TrainingSimulator("resnet50", V100, policy=our_policy(11.0)).simulate(32)
+        overhead = ours.iteration_s / base.iteration_s - 1
+        assert 0.02 < overhead < 0.40
+
+    def test_batch_growth_offsets_overhead(self):
+        """Section 5.4: the extra batch headroom recovers throughput —
+        ours at its (larger) max batch beats ours at the baseline's max
+        batch, and relative overhead shrinks as N grows."""
+        our_sim = TrainingSimulator("resnet50", V100, policy=our_policy(11.0))
+        base_sim = TrainingSimulator("resnet50", V100)
+        b_base = base_sim.max_batch()
+        b_ours = our_sim.max_batch()
+        assert our_sim.simulate(b_ours).images_per_s > our_sim.simulate(32).images_per_s
+        # Paper's VGG example: compressed at 8x the batch (similar memory
+        # footprint) is nearly as fast per image as baseline at the small
+        # batch — the batch headroom recovers most of the codec cost.
+        per_img_base_32 = base_sim.simulate(32).iteration_s / 32
+        per_img_ours_256 = our_sim.simulate(256).iteration_s / 256
+        assert per_img_ours_256 < per_img_base_32 * 1.15
+
+    def test_migration_policy_slower_than_ours(self):
+        """Layrub-class migration pays PCIe round trips (24.1% in paper)."""
+        ours = TrainingSimulator("vgg16", V100, policy=our_policy(11.0)).simulate(32)
+        lay = TrainingSimulator("vgg16", V100, policy=layrub_like()).simulate(32)
+        assert lay.iteration_s > ours.iteration_s
+
+    def test_multi_worker_adds_allreduce_cost(self):
+        sim = TrainingSimulator("resnet50", V100)
+        t1 = sim.simulate(32, workers=1)
+        t4 = sim.simulate(32, workers=4)
+        assert t4.iteration_s > t1.iteration_s
+        assert t4.images_per_s > 2 * t1.images_per_s  # still scales
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            TrainingSimulator("resnet50", V100).simulate(0)
+
+    def test_sweep_returns_all_points(self):
+        sim = TrainingSimulator("alexnet", V100)
+        out = sim.sweep([8, 16, 32])
+        assert sorted(out) == [8, 16, 32]

@@ -1,0 +1,53 @@
+"""Utility helpers: RNG normalization and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, human_bytes, nbytes_of
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(7).standard_normal(5)
+        b = ensure_rng(7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+
+class TestNbytes:
+    def test_array(self):
+        assert nbytes_of(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_bytes(self):
+        assert nbytes_of(b"abcd") == 4
+
+    def test_nested(self):
+        obj = {"a": np.zeros(2, dtype=np.float64), "b": [b"xy", np.zeros(1, dtype=np.int8)]}
+        assert nbytes_of(obj) == 16 + 2 + 1
+
+    def test_none_is_zero(self):
+        assert nbytes_of(None) == 0
+
+    def test_scalar(self):
+        assert nbytes_of(3.14) == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            nbytes_of(object())
+
+
+class TestHumanBytes:
+    @pytest.mark.parametrize("n,expected", [
+        (512, "512.00 B"),
+        (2048, "2.00 KB"),
+        (9.30 * 1024**3, "9.30 GB"),
+        (407 * 1024**2, "407.00 MB"),
+    ])
+    def test_formats(self, n, expected):
+        assert human_bytes(n) == expected
