@@ -11,14 +11,7 @@ reaches ~10x with a hard per-element bound and exact zero preservation.
 import numpy as np
 from scipy.ndimage import gaussian_filter
 
-from repro.compression import (
-    DeflateCompressor,
-    JpegLikeCompressor,
-    SparseLosslessCompressor,
-    SZCompressor,
-    max_abs_error,
-    psnr,
-)
+from repro.compression import SZCompressor, get_codec, max_abs_error, psnr
 
 
 def make_activation(seed=0, shape=(8, 64, 28, 28)):
@@ -44,21 +37,26 @@ def main():
         ps = f"{p:7.1f}" if np.isfinite(p) else "    inf"
         print(f"{name:26s} {ratio:>6.1f}x {err:>10.2e} {ps} {str(kept):>11s}")
 
+    # every codec now comes from the unified registry
     for level_name, codec in (
-        ("deflate (lossless)", DeflateCompressor()),
-        ("sparse-lossless (CDMA)", SparseLosslessCompressor()),
+        ("deflate (lossless)", get_codec("lossless")),
+        ("sparse-lossless (CDMA)", get_codec("sparse-lossless")),
+        ("jpeg-like q50 (JPEG-ACT)", get_codec("jpeg", quality=50)),
     ):
         ct = codec.compress(x)
         report(level_name, ct.compression_ratio, codec.decompress(ct))
 
-    jpeg = JpegLikeCompressor(quality=50)
-    ct = jpeg.compress(x)
-    report("jpeg-like q50 (JPEG-ACT)", ct.compression_ratio, jpeg.decompress(ct))
-
     for eb in (1e-4, 1e-3, 1e-2):
-        sz = SZCompressor(eb, entropy="huffman", zero_filter=True)
+        sz = get_codec("szlike", error_bound=eb, entropy="huffman", zero_filter=True)
         ct = sz.compress(x)
         report(f"sz  eb={eb:g}", ct.compression_ratio, sz.decompress(ct))
+
+    # min_chunk_nbytes lowered so the 1.6 MB demo tensor actually splits
+    ck = get_codec("chunked", inner="szlike", workers=4, min_chunk_nbytes=1 << 18,
+                   error_bound=1e-3, entropy="huffman", zero_filter=True)
+    ct = ck.compress(x)
+    report(f"sz  eb=0.001 chunked x{len(ct.chunks)}", ct.compression_ratio,
+           ck.decompress(ct))
 
     print("\nSZ reconstruction error is uniform (Figure 3):")
     sz = SZCompressor(1e-3, entropy="zlib", zero_filter=False)

@@ -1,4 +1,5 @@
-"""Compression substrate: SZ-style error-bounded compressor plus baselines."""
+"""Compression substrate: SZ-style error-bounded compressor, baselines,
+and the unified codec registry (:mod:`repro.compression.registry`)."""
 
 from repro.compression.szlike import SZCompressor, CompressedTensor
 from repro.compression.jpeg_like import JpegLikeCompressor, JpegCompressedTensor
@@ -6,6 +7,14 @@ from repro.compression.lossless import (
     DeflateCompressor,
     SparseLosslessCompressor,
     LosslessCompressedTensor,
+)
+from repro.compression.registry import (
+    ChunkedCodec,
+    ChunkedCompressedTensor,
+    Codec,
+    available_codecs,
+    get_codec,
+    register_codec,
 )
 from repro.compression.metrics import (
     compression_ratio,
@@ -25,6 +34,12 @@ __all__ = [
     "DeflateCompressor",
     "SparseLosslessCompressor",
     "LosslessCompressedTensor",
+    "Codec",
+    "ChunkedCodec",
+    "ChunkedCompressedTensor",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
     "compression_ratio",
     "error_stats",
     "max_abs_error",

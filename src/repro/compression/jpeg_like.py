@@ -82,6 +82,11 @@ class JpegCompressedTensor:
     coeff_dtype: str
     padded_shape: tuple
 
+    #: fixed header charge used by ``nbytes`` (accounting convention
+    #: shared with the SZ-style codec: sections at exact serialized
+    #: size, wire header at this constant).
+    header_nbytes = HEADER_BYTES
+
     @property
     def original_nbytes(self) -> int:
         return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize

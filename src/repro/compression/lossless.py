@@ -30,6 +30,11 @@ class LosslessCompressedTensor:
     payload: bytes
     bitmap: bytes = b""
 
+    #: fixed header charge used by ``nbytes`` (accounting convention
+    #: shared with the SZ-style codec: sections at exact serialized
+    #: size, wire header at this constant).
+    header_nbytes = HEADER_BYTES
+
     @property
     def original_nbytes(self) -> int:
         return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize

@@ -25,6 +25,7 @@ implemented via ``zero_filter=True`` (the default, as in the paper).
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional
@@ -51,6 +52,11 @@ __all__ = ["SZCompressor", "CompressedTensor", "HEADER_BYTES"]
 
 # Fixed serialization overhead we charge per compressed tensor (shape,
 # dtype tag, error bound, counts); matches cuSZ's on-GPU header scale.
+# The accounting convention: ``CompressedTensor.nbytes`` counts every
+# binary section at its exact ``serialize.dumps`` size and charges the
+# variable-length wire header at this fixed figure (a real deployment
+# would use a packed binary header of this scale; the JSON header our
+# serializer writes is for debuggability).
 HEADER_BYTES = 64
 
 _ENTROPY_STAGES = ("huffman", "zlib", "huffman+zlib", "none")
@@ -89,14 +95,22 @@ class CompressedTensor:
     def original_nbytes(self) -> int:
         return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize if self.shape else 0
 
+    #: fixed header charge; ``nbytes`` == serialized length with the wire
+    #: header swapped for this constant (see :data:`HEADER_BYTES`).
+    header_nbytes = HEADER_BYTES
+
     @property
     def nbytes(self) -> int:
-        """Compressed footprint: payload + outliers + codebook + header."""
+        """Compressed footprint: payload + outliers + codebook + header.
+
+        Every section is charged at its exact serialized size, so
+        ``nbytes == len(serialize.dumps(self)) - wire_header + HEADER_BYTES``.
+        """
         n = len(self.payload) + self.outliers.nbytes + HEADER_BYTES
         if self.codebook is not None:
             n += self.codebook.nbytes
         if self.chunk_offsets is not None:
-            n += self.chunk_offsets.size * 4  # stored as uint32 bit offsets
+            n += self.chunk_offsets.size * 8  # serialized as int64 bit offsets
         return n
 
     @property
@@ -124,6 +138,11 @@ class SZCompressor:
     zero_filter:
         Apply the paper's Section 4.4 re-zeroing filter at decompression.
     """
+
+    #: registry metadata (see :mod:`repro.compression.registry`)
+    name = "szlike"
+    error_bounded = True
+    lossless = False
 
     def __init__(
         self,
@@ -158,14 +177,25 @@ class SZCompressor:
         # the error bound (the pathology motivating the Section 4.4 filter).
         # Our integer pipeline reconstructs zeros exactly, so the pathology
         # can be *emulated* for ablation studies: zero grid points are
-        # perturbed uniformly within +-eb (error bound still honored).
+        # perturbed uniformly within +-eb (exact zeros stay error-bounded;
+        # near-zero values that quantized to the zero grid point can err up
+        # to 2*eb — that drift is precisely the pathology being emulated).
         self.emulate_zero_drift = bool(emulate_zero_drift)
         from repro.utils.rng import ensure_rng
 
         self._rng = ensure_rng(rng)
+        # numpy Generators are not thread-safe; decompress may run
+        # concurrently per chunk under a ChunkedCodec wrapper.
+        self._rng_lock = threading.Lock()
 
     # -- helpers ---------------------------------------------------------
-    def _resolve_eb(self, x: np.ndarray) -> float:
+    def resolve_error_bound(self, x: np.ndarray) -> float:
+        """The absolute bound a compress() call on *x* would use.
+
+        Public so wrappers (e.g. the chunked codec) can resolve a
+        relative-mode bound once on the whole tensor and hand every chunk
+        the same absolute bound.
+        """
         if self.mode == "abs":
             return self.error_bound
         vrange = float(x.max() - x.min()) if x.size else 0.0
@@ -184,7 +214,7 @@ class SZCompressor:
             raise ValueError("cannot compress an empty tensor")
         if not np.all(np.isfinite(x)):
             raise ValueError("input contains non-finite values")
-        eb = float(error_bound) if error_bound is not None else self._resolve_eb(x)
+        eb = float(error_bound) if error_bound is not None else self.resolve_error_bound(x)
         if eb <= 0:
             raise ValueError(f"resolved error bound must be positive, got {eb}")
         ndim = self._effective_ndim(x)
@@ -250,7 +280,8 @@ class SZCompressor:
             zeros = q == 0
             n_zero = int(zeros.sum())
             if n_zero:
-                drift = self._rng.uniform(-ct.error_bound, ct.error_bound, n_zero)
+                with self._rng_lock:
+                    drift = self._rng.uniform(-ct.error_bound, ct.error_bound, n_zero)
                 x[zeros] = drift.astype(x.dtype)
         if ct.zero_filter:
             # Paper Section 4.4: re-zero anything within the error bound so
@@ -266,12 +297,26 @@ class SZCompressor:
         """Entropy-based size estimate (no bitstream materialization).
 
         Used by the adaptive controller's monitoring path where only the
-        expected ratio is needed.
+        expected ratio is needed.  Charges every section at the same rate
+        ``CompressedTensor.nbytes`` does: outliers at their packed
+        itemsize, plus the codebook and chunk-offset metadata the Huffman
+        stages serialize — only the payload itself is estimated (at its
+        Shannon lower bound).
         """
+        from repro.compression.szlike.huffman import DEFAULT_CHUNK
+
         x = np.asarray(x)
-        eb = float(error_bound) if error_bound is not None else self._resolve_eb(x)
+        eb = float(error_bound) if error_bound is not None else self.resolve_error_bound(x)
         q = prequantize(x, eb)
         delta = lorenzo_encode(q, self._effective_ndim(x))
         qr = codes_from_residuals(delta, self.radius)
         bits = entropy_bits(qr.codes, self.dict_size)
-        return bits / 8.0 + qr.outliers.size * 4 + HEADER_BYTES
+        est = bits / 8.0 + _pack_outliers(qr.outliers).nbytes + HEADER_BYTES
+        if self.entropy in ("huffman", "huffman+zlib"):
+            # one length byte per alphabet symbol + int64 chunk offsets
+            est += self.dict_size
+            est += 8 * (-(-qr.codes.size // DEFAULT_CHUNK))
+        return est
+
+    # Registry-facing alias (the unified Codec API name).
+    estimate_nbytes = estimate_compressed_nbytes

@@ -53,7 +53,7 @@ def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
         lengths[present[0]] = 1
         return lengths
     # Standard heap construction; nodes carry their leaf sets so depths can
-    # be assigned when the tree is complete.  Alphabmust is small (<= 64Ki
+    # be assigned when the tree is complete.  Alphabet size is small (<= 64Ki
     # in practice ~1Ki), so this Python loop is not a hot path.
     heap = [(int(freqs[s]), int(s), [int(s)]) for s in present]
     heapq.heapify(heap)
@@ -123,8 +123,14 @@ class HuffmanCodebook:
 
     @property
     def nbytes(self) -> int:
-        """Serialized size: (symbol, length) pairs for present symbols."""
-        return int(np.count_nonzero(self.lengths)) * 3 + 8
+        """Serialized size: one length byte per alphabet symbol.
+
+        Canonical codes are fully determined by the length array, and
+        that is exactly what :func:`repro.compression.szlike.serialize.dumps`
+        writes — so this matches the on-the-wire codebook section
+        byte-for-byte.
+        """
+        return int(self.lengths.size)
 
     def kraft_sum(self) -> float:
         nz = self.lengths[self.lengths > 0].astype(np.float64)

@@ -33,8 +33,18 @@ def prequantize(x: np.ndarray, error_bound: float) -> np.ndarray:
 
 
 def reconstruct(q: np.ndarray, error_bound: float, dtype=np.float32) -> np.ndarray:
-    """Map grid indices back to floating point values (error <= eb)."""
-    return (q.astype(np.float64) * (2.0 * error_bound)).astype(dtype)
+    """Map grid indices back to floating point values.
+
+    The error-bound contract: the reconstruction is computed in float64,
+    where ``|x - q * 2*eb| <= eb`` holds exactly (up to float64 rounding
+    of the product, i.e. well below any float32 ulp).  Requesting a
+    narrower output ``dtype`` adds at most half an ulp of the value
+    magnitude on top of ``eb`` — the same caveat real cuSZ carries.
+    Pass ``dtype=np.float64`` to keep the guarantee exact.
+    """
+    out = q.astype(np.float64) * (2.0 * error_bound)
+    dtype = np.dtype(dtype)
+    return out if dtype == np.float64 else out.astype(dtype)
 
 
 @dataclass

@@ -17,10 +17,28 @@ import numpy as np
 from repro.compression.szlike.compressor import CompressedTensor
 from repro.compression.szlike.huffman import HuffmanCodebook
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "loads", "wire_header_nbytes", "WIRE_FRAMING_BYTES"]
 
 _MAGIC = b"SZRP"
 _VERSION = 1
+
+#: fixed framing: magic + header-length word + payload-length word
+WIRE_FRAMING_BYTES = 16
+
+
+def wire_header_nbytes(data: bytes) -> int:
+    """Bytes of *data* spent on framing plus the JSON header.
+
+    This is exactly the portion :attr:`CompressedTensor.nbytes` charges
+    at the fixed ``HEADER_BYTES`` convention, so for any compressed
+    tensor ``ct``::
+
+        ct.nbytes == len(dumps(ct)) - wire_header_nbytes(dumps(ct)) + HEADER_BYTES
+    """
+    if data[:4] != _MAGIC:
+        raise ValueError("not a serialized compressed tensor (bad magic)")
+    (hlen,) = struct.unpack_from("<I", data, 4)
+    return WIRE_FRAMING_BYTES + hlen
 
 
 def dumps(ct: CompressedTensor) -> bytes:

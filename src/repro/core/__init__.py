@@ -9,6 +9,7 @@ from repro.core.error_model import (
 )
 from repro.core.gradient_assessment import GradientAssessor
 from repro.core.memory_tracker import LayerMemoryRecord, MemoryTracker
+from repro.core.arena import ByteArena
 from repro.core.activation_store import CompressingContext, PackedActivation
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.framework import CompressedTraining
@@ -23,6 +24,7 @@ __all__ = [
     "GradientAssessor",
     "LayerMemoryRecord",
     "MemoryTracker",
+    "ByteArena",
     "CompressingContext",
     "PackedActivation",
     "AdaptiveConfig",

@@ -6,6 +6,20 @@ the layer's current error bound and only the compressed representation is
 retained.  ``unpack`` runs when backpropagation reaches the layer again
 and decompresses.  Per-layer error bounds are owned by the adaptive
 controller; this class is the mechanism.
+
+Two storage regimes:
+
+* **In-process** (default): the live compressed object is kept on the
+  handle and its ``nbytes`` accounting charge goes to the tracker.
+* **Byte arena** (``storage=ByteArena(...)``): the compressed object is
+  serialized to one byte string held in the arena (in-memory budget with
+  spill-to-disk overflow, see :mod:`repro.core.arena`), and the tracker
+  is charged the *physical* serialized length — footprint numbers become
+  byte-exact rather than estimates.
+
+Each packed handle is released to the tracker exactly once, on whichever
+of ``unpack``/``discard`` reaches it first; repeated unpacks (e.g. via
+``Layer._load``) keep returning data without double-releasing.
 """
 
 from __future__ import annotations
@@ -15,7 +29,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.compression.szlike import CompressedTensor, SZCompressor
+from repro.compression.szlike import SZCompressor
+from repro.compression.registry import Codec
+from repro.compression.registry import dumps as _codec_dumps
+from repro.compression.registry import loads as _codec_loads
+from repro.core.arena import ByteArena
 from repro.core.memory_tracker import MemoryTracker
 from repro.nn.layers.base import Layer, SavedTensorContext
 
@@ -26,9 +44,17 @@ __all__ = ["CompressingContext", "PackedActivation"]
 class PackedActivation:
     """Handle stored in place of the raw activation tensor."""
 
-    compressed: CompressedTensor
     raw_nbytes: int
     nonzero_ratio: float
+    #: bytes charged to the tracker: physical serialized length under
+    #: arena storage, the ``nbytes`` accounting convention otherwise
+    stored_nbytes: int
+    #: the live compressed object (populated lazily under arena storage)
+    compressed: Optional[object] = None
+    #: arena key when the bytes live in a :class:`ByteArena`
+    arena_key: Optional[int] = None
+    #: True once the tracker has been credited for this handle
+    released: bool = False
 
 
 class CompressingContext(SavedTensorContext):
@@ -37,26 +63,34 @@ class CompressingContext(SavedTensorContext):
     Parameters
     ----------
     compressor:
-        The :class:`SZCompressor` (or API-compatible codec).
+        Any codec following the registry protocol (``compress(x,
+        error_bound=...)`` / ``decompress``), e.g. :class:`SZCompressor`
+        or a ``ChunkedCodec`` wrapping it.
     initial_rel_eb:
         Until the controller assigns a layer an absolute bound, the first
         pack resolves ``eb = initial_rel_eb * value_range`` — a
         conservative warm-up choice.
     tracker:
         Optional :class:`MemoryTracker` for accounting.
+    storage:
+        Optional :class:`ByteArena`.  When given, packed activations are
+        held as serialized byte strings in the arena instead of live
+        Python objects.
     """
 
     def __init__(
         self,
-        compressor: Optional[SZCompressor] = None,
+        compressor: Optional[Codec] = None,
         initial_rel_eb: float = 1e-3,
         tracker: Optional[MemoryTracker] = None,
+        storage: Optional[ByteArena] = None,
     ):
         self.compressor = compressor or SZCompressor(error_bound=1e-3, entropy="huffman")
         if initial_rel_eb <= 0:
             raise ValueError("initial_rel_eb must be positive")
         self.initial_rel_eb = float(initial_rel_eb)
         self.tracker = tracker or MemoryTracker()
+        self.storage = storage
         #: layers whose saved input is a ReLU output: after decompression
         #: the activation function is recomputed (``max(x, 0)``), the
         #: paper's first zero-preservation mechanism (Section 4.4) — it
@@ -66,7 +100,8 @@ class CompressingContext(SavedTensorContext):
         self.error_bounds: Dict[str, float] = {}
         #: per-layer nonzero ratio R observed at the latest pack
         self.observed_nonzero: Dict[str, float] = {}
-        #: per-layer latest achieved compression ratio
+        #: per-layer latest achieved compression ratio (physical bytes
+        #: under arena storage)
         self.observed_ratio: Dict[str, float] = {}
         self.enabled = True
 
@@ -79,6 +114,16 @@ class CompressingContext(SavedTensorContext):
         self.error_bounds[layer.name] = eb
         return eb
 
+    # -- release bookkeeping -----------------------------------------------
+    def _release(self, handle: PackedActivation) -> None:
+        """Credit the tracker (and arena) for *handle* exactly once."""
+        if handle.released:
+            return
+        handle.released = True
+        if handle.arena_key is not None and self.storage is not None:
+            self.storage.discard(handle.arena_key)
+        self.tracker.record_release(handle.raw_nbytes, handle.stored_nbytes)
+
     # -- SavedTensorContext interface --------------------------------------
     def pack(self, layer: Layer, key: str, arr: np.ndarray):
         if not self.enabled or not isinstance(arr, np.ndarray) or arr.ndim != 4:
@@ -86,25 +131,53 @@ class CompressingContext(SavedTensorContext):
         eb = self.resolve_error_bound(layer, arr)
         ct = self.compressor.compress(arr, error_bound=eb)
         nz = float(np.count_nonzero(arr)) / arr.size
+        if self.storage is not None:
+            blob = _codec_dumps(ct)
+            handle = PackedActivation(
+                raw_nbytes=arr.nbytes,
+                nonzero_ratio=nz,
+                stored_nbytes=len(blob),
+                arena_key=self.storage.put(blob),
+            )
+        else:
+            handle = PackedActivation(
+                raw_nbytes=arr.nbytes,
+                nonzero_ratio=nz,
+                stored_nbytes=ct.nbytes,
+                compressed=ct,
+            )
         self.observed_nonzero[layer.name] = nz
-        self.observed_ratio[layer.name] = ct.compression_ratio
-        self.tracker.record_pack(layer.name, arr.nbytes, ct.nbytes)
-        return PackedActivation(compressed=ct, raw_nbytes=arr.nbytes, nonzero_ratio=nz)
+        self.observed_ratio[layer.name] = (
+            arr.nbytes / handle.stored_nbytes if handle.stored_nbytes else 0.0
+        )
+        self.tracker.record_pack(layer.name, arr.nbytes, handle.stored_nbytes)
+        return handle
 
     def unpack(self, layer: Layer, key: str, handle) -> np.ndarray:
         if not isinstance(handle, PackedActivation):
             return handle
-        out = self.compressor.decompress(handle.compressed)
+        ct = handle.compressed
+        if ct is None:
+            # Arena storage: materialize the compressed object from its
+            # bytes; keep it on the handle so repeated unpacks still work
+            # after the arena entry is released below.
+            ct = _codec_loads(self.storage.get(handle.arena_key))
+            handle.compressed = ct
+        out = self.compressor.decompress(ct)
         if layer.name in self.relu_recompute_layers:
             # Recompute the activation function (Section 4.4): negative
             # drift is erased by the ReLU; positive drift is bounded by
             # eb and true values <= eb quantize to the zero grid point,
-            # so clamping the sub-eb band restores exact zeros.
+            # so clamping the sub-eb band restores exact zeros.  Codecs
+            # without a per-element bound (jpeg, lossless) only get the
+            # ReLU itself — there is no eb band to clamp.
             np.maximum(out, 0, out=out)
-            out[out <= handle.compressed.error_bound] = 0
-        self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+            eb = getattr(ct, "error_bound", None)
+            if eb is not None:
+                out[out <= eb] = 0
+        self._release(handle)
         return out
 
     def discard(self, layer: Layer, key: str, handle) -> None:
         if isinstance(handle, PackedActivation):
-            self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+            self._release(handle)

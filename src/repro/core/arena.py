@@ -1,0 +1,194 @@
+"""Byte-arena activation storage: hold packed activations as real bytes.
+
+The compressing context historically kept live ``CompressedTensor``
+objects and *charged* their estimated footprint to the memory tracker.
+:class:`ByteArena` makes the footprint physical: packed activations are
+stored as serialized byte strings (``registry.dumps`` output), subject
+to a configurable in-memory budget with spill-to-disk overflow — the
+out-of-core regime an actual deployment hits when compressed activations
+still exceed device memory.
+
+Eviction is FIFO (oldest first), which is optimal for the training
+workload: backward consumes activations in reverse pack order, so the
+first-packed (earliest-layer) bytes are exactly the ones needed last.
+
+Usage::
+
+    arena = ByteArena(budget_bytes=32 << 20)
+    ctx = CompressingContext(compressor, storage=arena)
+    # ... training ...
+    print(arena.in_memory_nbytes, arena.spilled_nbytes, arena.spill_count)
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import uuid
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ByteArena"]
+
+
+class ByteArena:
+    """Budgeted byte-string store with FIFO spill-to-disk overflow.
+
+    Parameters
+    ----------
+    budget_bytes:
+        In-memory ceiling.  ``None`` disables spilling (everything stays
+        resident); ``0`` spills every entry immediately.
+    spill_dir:
+        Directory for spill files.  Defaults to a fresh temporary
+        directory created lazily on first spill and removed by
+        :meth:`close` (also invoked by ``__del__`` and context exit).
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = 64 << 20, spill_dir: Optional[str] = None):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0 or None, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._spill_dir = spill_dir
+        self._owns_spill_dir = spill_dir is None
+        #: key -> bytes, insertion-ordered (FIFO eviction)
+        self._mem: "OrderedDict[int, bytes]" = OrderedDict()
+        #: key -> (path, nbytes) for spilled entries
+        self._disk: Dict[int, Tuple[str, int]] = {}
+        self._next_key = 0
+        #: unique per-arena spill-file prefix so arenas sharing a
+        #: spill_dir cannot clobber each other's entries
+        self._tag = uuid.uuid4().hex[:12]
+        self._closed = False
+        # -- statistics ---------------------------------------------------
+        self.in_memory_nbytes = 0
+        self.spilled_nbytes = 0
+        self.peak_in_memory_nbytes = 0
+        self.peak_total_nbytes = 0
+        #: number of entries ever written to disk
+        self.spill_count = 0
+
+    # -- internals ---------------------------------------------------------
+    def _ensure_spill_dir(self) -> str:
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-arena-")
+        else:
+            os.makedirs(self._spill_dir, exist_ok=True)
+        return self._spill_dir
+
+    def _spill_oldest(self) -> None:
+        key, data = self._mem.popitem(last=False)
+        path = os.path.join(self._ensure_spill_dir(), f"{self._tag}-{key}.bin")
+        with open(path, "wb") as f:
+            f.write(data)
+        self._disk[key] = (path, len(data))
+        self.in_memory_nbytes -= len(data)
+        self.spilled_nbytes += len(data)
+        self.spill_count += 1
+
+    def _maybe_spill(self) -> None:
+        if self.budget_bytes is None:
+            return
+        while self._mem and self.in_memory_nbytes > self.budget_bytes:
+            self._spill_oldest()
+
+    def _track_peaks(self) -> None:
+        self.peak_in_memory_nbytes = max(self.peak_in_memory_nbytes, self.in_memory_nbytes)
+        self.peak_total_nbytes = max(self.peak_total_nbytes, self.total_nbytes)
+
+    # -- API ---------------------------------------------------------------
+    def put(self, data: bytes) -> int:
+        """Store *data*; returns the key for :meth:`get`/:meth:`pop`."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        key = self._next_key
+        self._next_key += 1
+        self._mem[key] = bytes(data)
+        self.in_memory_nbytes += len(data)
+        # Peaks reflect the true resident high-water mark: the new entry
+        # is held in memory before any spill relieves the budget.
+        self._track_peaks()
+        self._maybe_spill()
+        return key
+
+    def get(self, key: int) -> bytes:
+        """Read the bytes for *key* without releasing the entry."""
+        if key in self._mem:
+            return self._mem[key]
+        try:
+            path, _ = self._disk[key]
+        except KeyError:
+            raise KeyError(f"arena key {key} not found") from None
+        with open(path, "rb") as f:
+            return f.read()
+
+    def pop(self, key: int) -> bytes:
+        """Read and release the entry (spill files are deleted)."""
+        data = self.get(key)
+        self.discard(key)
+        return data
+
+    def discard(self, key: int) -> None:
+        """Release the entry without reading it; unknown keys are a no-op."""
+        if key in self._mem:
+            self.in_memory_nbytes -= len(self._mem.pop(key))
+            return
+        entry = self._disk.pop(key, None)
+        if entry is not None:
+            path, nbytes = entry
+            self.spilled_nbytes -= nbytes
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._mem or key in self._disk
+
+    def __len__(self) -> int:
+        return len(self._mem) + len(self._disk)
+
+    @property
+    def total_nbytes(self) -> int:
+        """Live bytes across memory and disk."""
+        return self.in_memory_nbytes + self.spilled_nbytes
+
+    def close(self) -> None:
+        """Drop every entry, delete spill files, and remove the owned
+        spill directory (a user-provided directory is left in place,
+        minus this arena's files)."""
+        if self._closed:
+            return
+        self._mem.clear()
+        for path, _ in self._disk.values():
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._disk.clear()
+        self.in_memory_nbytes = 0
+        self.spilled_nbytes = 0
+        if self._owns_spill_dir and self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+        self._closed = True
+
+    def __enter__(self) -> "ByteArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        budget = "none" if self.budget_bytes is None else f"{self.budget_bytes}B"
+        return (
+            f"ByteArena(entries={len(self)}, mem={self.in_memory_nbytes}B, "
+            f"disk={self.spilled_nbytes}B, budget={budget})"
+        )

@@ -24,12 +24,14 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.compression.registry import Codec, get_codec
 from repro.compression.szlike import SZCompressor
 from repro.core.activation_store import CompressingContext
+from repro.core.arena import ByteArena
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.gradient_assessment import GradientAssessor
 from repro.core.memory_tracker import MemoryTracker
@@ -51,30 +53,42 @@ class CompressedTraining:
         The model whose conv layers will be compressed and the SGD
         optimizer whose momentum drives the gradient assessment.
     compressor:
-        Codec for activations; defaults to the faithful cuSZ-style
-        pipeline with the zero-preserving filter enabled.
+        Codec for activations: any object following the registry's
+        :class:`~repro.compression.registry.Codec` protocol, or a
+        registry key string (``"szlike"``, ``"chunked"``, ...) resolved
+        via :func:`~repro.compression.registry.get_codec`.  Defaults to
+        the faithful cuSZ-style pipeline with the zero-preserving filter
+        enabled.
     config:
         :class:`AdaptiveConfig`; defaults to the paper's settings except
         W, which defaults lower (50) because CPU-scale experiments run
         hundreds, not hundreds of thousands, of iterations.
+    storage:
+        Optional :class:`ByteArena` — packed activations are then held
+        as serialized byte strings under the arena's in-memory budget
+        (spill-to-disk overflow) and the tracker reports physical bytes.
     """
 
     def __init__(
         self,
         network: Layer,
         optimizer: SGD,
-        compressor: Optional[SZCompressor] = None,
+        compressor: Union[Codec, str, None] = None,
         config: Optional[AdaptiveConfig] = None,
         tracker: Optional[MemoryTracker] = None,
+        storage: Optional[ByteArena] = None,
     ):
         self.network = network
         self.optimizer = optimizer
         self.config = config or AdaptiveConfig(W=50)
         self.tracker = tracker or MemoryTracker()
+        if isinstance(compressor, str):
+            compressor = get_codec(compressor)
         self.ctx = CompressingContext(
             compressor=compressor or SZCompressor(entropy="huffman", zero_filter=True),
             initial_rel_eb=self.config.initial_rel_eb,
             tracker=self.tracker,
+            storage=storage,
         )
         self.assessor = GradientAssessor(optimizer, self.config.sigma_fraction)
         self.controller = AdaptiveController(self.config, self.assessor, self.ctx)

@@ -46,11 +46,12 @@ class RawPolicy(SavedTensorContext):
 
 
 class _Handle:
-    __slots__ = ("compressed", "raw_nbytes")
+    __slots__ = ("compressed", "raw_nbytes", "released")
 
     def __init__(self, compressed, raw_nbytes):
         self.compressed = compressed
         self.raw_nbytes = raw_nbytes
+        self.released = False
 
 
 class CodecPolicy(SavedTensorContext):
@@ -73,15 +74,24 @@ class CodecPolicy(SavedTensorContext):
         self.tracker.record_pack(layer.name, arr.nbytes, ct.nbytes)
         return _Handle(ct, arr.nbytes)
 
+    def _release(self, handle: "_Handle") -> None:
+        # Release exactly once per handle: a handle unpacked via
+        # ``Layer._load`` stays in ``Layer._saved`` and is discarded
+        # later — without the flag those bytes would be credited twice.
+        if handle.released:
+            return
+        handle.released = True
+        self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+
     def unpack(self, layer: Layer, key: str, handle):
         if not isinstance(handle, _Handle):
             return handle
-        self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+        self._release(handle)
         return self.codec.decompress(handle.compressed)
 
     def discard(self, layer: Layer, key: str, handle):
         if isinstance(handle, _Handle):
-            self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+            self._release(handle)
 
 
 class FixedBoundSZPolicy(CodecPolicy):

@@ -1,0 +1,181 @@
+"""The unified codec registry: construction, shared contract, chunking.
+
+Every registered codec must pass the same contract suite — roundtrip,
+error-bound behaviour, and nbytes/serialization parity — so the
+compressing context can swap codecs freely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    ChunkedCodec,
+    ChunkedCompressedTensor,
+    SZCompressor,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.compression.registry import dumps, loads, wire_header_nbytes
+
+#: constructor kwargs for codecs that want non-defaults in the suite
+CODEC_SPECS = {
+    "szlike": dict(error_bound=1e-3, entropy="huffman"),
+    "jpeg": dict(quality=50),
+}
+
+#: every registered leaf codec (the chunked wrapper has its own class
+#: below); a newly registered codec is pulled into the contract suite
+#: automatically
+LEAF_CODECS = sorted(n for n in available_codecs() if n != "chunked")
+
+
+def make(name):
+    return get_codec(name, **CODEC_SPECS.get(name, {}))
+
+
+class TestRegistry:
+    def test_required_codecs_registered(self):
+        for name in ("szlike", "jpeg", "lossless", "sparse-lossless", "chunked"):
+            assert name in available_codecs()
+
+    def test_get_codec_constructs_with_kwargs(self):
+        sz = get_codec("szlike", error_bound=5e-4, entropy="zlib")
+        assert isinstance(sz, SZCompressor)
+        assert sz.error_bound == 5e-4
+        assert sz.entropy == "zlib"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("zstd-turbo")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec("szlike", SZCompressor)
+
+    def test_chunked_constructible_by_name(self):
+        ck = get_codec("chunked", inner="szlike", workers=2, error_bound=1e-3)
+        assert isinstance(ck, ChunkedCodec)
+        assert ck.error_bounded
+
+
+@pytest.mark.parametrize("name", LEAF_CODECS)
+class TestCodecContract:
+    """The shared suite every registered codec must pass."""
+
+    def test_metadata(self, name):
+        codec = make(name)
+        assert codec.name == name
+        assert isinstance(codec.error_bounded, bool)
+        assert isinstance(codec.lossless, bool)
+
+    def test_roundtrip_shape_and_dtype(self, name, activation_tensor):
+        codec = make(name)
+        y = codec.decompress(codec.compress(activation_tensor, error_bound=1e-3))
+        assert y.shape == activation_tensor.shape
+        assert y.dtype == activation_tensor.dtype
+
+    def test_error_bound_contract(self, name, activation_tensor):
+        """error_bounded codecs honor the per-call bound; lossless ones
+        reconstruct exactly; only the JPEG class has uncontrolled error."""
+        codec = make(name)
+        eb = 1e-2
+        y = codec.decompress(codec.compress(activation_tensor, error_bound=eb))
+        err = float(np.abs(activation_tensor.astype(np.float64) - y).max())
+        if codec.lossless:
+            np.testing.assert_array_equal(y, activation_tensor)
+        elif codec.error_bounded:
+            ulp = float(np.spacing(np.float32(np.abs(activation_tensor).max())))
+            assert err <= eb + ulp
+        else:
+            assert np.isfinite(err)  # quality knob only — no bound to assert
+
+    def test_nbytes_parity_with_serialization(self, name, activation_tensor):
+        """nbytes == physical serialized length, wire header swapped for
+        the fixed header charge (the accounting contract)."""
+        codec = make(name)
+        ct = codec.compress(activation_tensor, error_bound=1e-3)
+        blob = dumps(ct)
+        assert ct.nbytes == len(blob) - wire_header_nbytes(blob) + ct.header_nbytes
+
+    def test_serialization_roundtrip_decompresses_identically(self, name, activation_tensor):
+        codec = make(name)
+        ct = codec.compress(activation_tensor, error_bound=1e-3)
+        y1 = codec.decompress(ct)
+        y2 = codec.decompress(loads(dumps(ct)))
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_estimate_tracks_actual(self, name, activation_tensor):
+        codec = make(name)
+        est = codec.estimate_nbytes(activation_tensor, error_bound=1e-3)
+        actual = codec.compress(activation_tensor, error_bound=1e-3).nbytes
+        assert 0.5 * actual < est < 1.5 * actual
+
+
+class TestChunkedCodec:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_equivalent_to_unchunked(self, activation_tensor, workers):
+        """Chunks are independent along the batch axis for the SZ codec,
+        so the reconstruction is bit-identical to the unchunked path."""
+        sz = get_codec("szlike", error_bound=1e-3, entropy="zlib")
+        ck = ChunkedCodec(sz, workers=workers, min_chunk_nbytes=1 << 14)
+        y_single = sz.decompress(sz.compress(activation_tensor))
+        ct = ck.compress(activation_tensor)
+        assert isinstance(ct, ChunkedCompressedTensor)
+        assert len(ct.chunks) > 1
+        np.testing.assert_array_equal(ck.decompress(ct), y_single)
+
+    def test_relative_mode_resolved_once(self, dense_tensor):
+        """rel-mode bounds resolve on the whole tensor, not per chunk."""
+        sz = get_codec("szlike", error_bound=1e-3, mode="rel", entropy="zlib")
+        ck = ChunkedCodec(sz, workers=2, min_chunk_nbytes=1 << 14)
+        ct = ck.compress(dense_tensor)
+        assert len(ct.chunks) > 1
+        ebs = {c.error_bound for c in ct.chunks}
+        assert len(ebs) == 1
+        assert ct.error_bound == sz.resolve_error_bound(dense_tensor)
+        np.testing.assert_array_equal(
+            ck.decompress(ct), sz.decompress(sz.compress(dense_tensor))
+        )
+
+    def test_small_tensor_not_split(self, rng):
+        ck = ChunkedCodec(get_codec("szlike", error_bound=1e-3, entropy="zlib"), workers=4)
+        x = rng.standard_normal((4, 2, 8, 8)).astype(np.float32)
+        ct = ck.compress(x)
+        assert len(ct.chunks) == 1
+        np.testing.assert_array_equal(
+            ck.decompress(ct), ck.inner.decompress(ck.inner.compress(x))
+        )
+
+    def test_error_bound_honored_through_chunks(self, activation_tensor):
+        ck = ChunkedCodec("szlike", workers=4, min_chunk_nbytes=1 << 14, error_bound=1e-3)
+        y = ck.roundtrip(activation_tensor, error_bound=5e-3)
+        assert np.abs(activation_tensor - y).max() <= 5e-3 * (1 + 1e-6)
+
+    def test_nbytes_sums_chunks(self, activation_tensor):
+        ck = ChunkedCodec("szlike", workers=2, min_chunk_nbytes=1 << 14, error_bound=1e-3)
+        ct = ck.compress(activation_tensor)
+        from repro.compression.registry import CHUNK_HEADER_BYTES
+
+        assert ct.nbytes == sum(c.nbytes for c in ct.chunks) + CHUNK_HEADER_BYTES
+        assert ct.original_nbytes == activation_tensor.nbytes
+        assert ct.compression_ratio > 1
+
+    def test_serialization_roundtrip(self, activation_tensor):
+        ck = ChunkedCodec("szlike", workers=2, min_chunk_nbytes=1 << 14, error_bound=1e-3)
+        ct = ck.compress(activation_tensor)
+        back = loads(dumps(ct))
+        assert isinstance(back, ChunkedCompressedTensor)
+        np.testing.assert_array_equal(ck.decompress(back), ck.decompress(ct))
+
+    def test_lossless_inner_exact(self, activation_tensor):
+        ck = ChunkedCodec("lossless", workers=2, min_chunk_nbytes=1 << 14)
+        np.testing.assert_array_equal(ck.roundtrip(activation_tensor), activation_tensor)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ChunkedCodec("szlike", workers=0)
+
+    def test_rejects_bad_min_chunk_nbytes(self):
+        with pytest.raises(ValueError):
+            ChunkedCodec("szlike", min_chunk_nbytes=0)

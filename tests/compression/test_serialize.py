@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.compression import SZCompressor
-from repro.compression.szlike.serialize import dumps, loads
+from repro.compression.szlike.compressor import HEADER_BYTES
+from repro.compression.szlike.serialize import dumps, loads, wire_header_nbytes
 
 
 @pytest.mark.parametrize("entropy", ["huffman", "zlib", "huffman+zlib", "none"])
@@ -18,12 +19,14 @@ def test_roundtrip_all_entropy_stages(activation_tensor, entropy):
     np.testing.assert_array_equal(y1, y2)
 
 
-def test_serialized_size_close_to_accounting(activation_tensor):
-    comp = SZCompressor(1e-3, entropy="huffman")
+@pytest.mark.parametrize("entropy", ["huffman", "zlib", "huffman+zlib", "none"])
+def test_nbytes_matches_serialized_length_exactly(activation_tensor, entropy):
+    """The accounting contract: nbytes equals the physical byte string,
+    with the variable wire header charged at the fixed HEADER_BYTES."""
+    comp = SZCompressor(1e-3, entropy=entropy)
     ct = comp.compress(activation_tensor)
     blob = dumps(ct)
-    # byte string within 2x of the nbytes accounting (headers differ)
-    assert 0.5 * ct.nbytes < len(blob) < 2.0 * ct.nbytes
+    assert ct.nbytes == len(blob) - wire_header_nbytes(blob) + HEADER_BYTES
 
 
 def test_metadata_preserved(dense_tensor):

@@ -1,0 +1,289 @@
+"""ByteArena storage: budget/spill mechanics, byte-exact accounting, and
+the release-exactly-once contract of the compressing context."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor, get_codec
+from repro.compression.registry import dumps as codec_dumps
+from repro.core import ByteArena, CompressingContext, MemoryTracker, PackedActivation
+from repro.nn import Conv2D, SGD, Sequential, ReLU, Flatten, Linear, MaxPool2D
+
+
+class TestByteArena:
+    def test_put_get_pop(self):
+        with ByteArena(budget_bytes=1 << 20) as a:
+            k = a.put(b"hello")
+            assert k in a
+            assert a.get(k) == b"hello"
+            assert a.pop(k) == b"hello"
+            assert k not in a
+            assert len(a) == 0
+
+    def test_budget_spills_oldest_to_disk(self, tmp_path):
+        a = ByteArena(budget_bytes=250, spill_dir=str(tmp_path))
+        keys = [a.put(bytes([i]) * 100) for i in range(4)]
+        # 400 live bytes against a 250 budget: the two oldest spill
+        assert a.in_memory_nbytes <= 250
+        assert a.spill_count == 2
+        assert a.spilled_nbytes == 200
+        assert len(os.listdir(tmp_path)) == 2
+        # spilled entries read back intact
+        for i, k in enumerate(keys):
+            assert a.get(k) == bytes([i]) * 100
+        a.close()
+
+    def test_pop_spilled_removes_file(self, tmp_path):
+        a = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        k = a.put(b"x" * 64)
+        assert a.in_memory_nbytes == 0
+        assert a.pop(k) == b"x" * 64
+        assert a.spilled_nbytes == 0
+        assert os.listdir(tmp_path) == []
+        a.close()
+
+    def test_no_budget_never_spills(self):
+        a = ByteArena(budget_bytes=None)
+        for i in range(10):
+            a.put(b"y" * 1000)
+        assert a.spill_count == 0
+        assert a.in_memory_nbytes == 10_000
+        a.close()
+
+    def test_peak_statistics(self):
+        a = ByteArena(budget_bytes=None)
+        k1 = a.put(b"a" * 100)
+        k2 = a.put(b"b" * 100)
+        a.discard(k1)
+        a.put(b"c" * 50)
+        assert a.peak_in_memory_nbytes == 200
+        assert a.total_nbytes == 150
+        a.close()
+
+    def test_peak_counts_resident_bytes_before_spill(self):
+        """Every blob is resident before eviction relieves the budget,
+        and the peak must record that true high-water mark."""
+        a = ByteArena(budget_bytes=0)
+        a.put(b"z" * 500)
+        assert a.peak_in_memory_nbytes == 500
+        assert a.in_memory_nbytes == 0
+        a.close()
+
+    def test_close_removes_owned_spill_dir(self):
+        a = ByteArena(budget_bytes=0)
+        a.put(b"z" * 32)
+        spill_dir = a._spill_dir
+        assert spill_dir is not None and os.path.isdir(spill_dir)
+        a.close()
+        assert not os.path.exists(spill_dir)
+        with pytest.raises(RuntimeError):
+            a.put(b"after close")
+
+    def test_shared_spill_dir_no_collision(self, tmp_path):
+        """Two arenas spilling into one directory must not clobber each
+        other's entries, and closing one must leave the other's files."""
+        a = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        b = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        ka = a.put(b"A" * 50)
+        kb = b.put(b"B" * 50)
+        assert a.get(ka) == b"A" * 50
+        assert b.get(kb) == b"B" * 50
+        a.close()
+        assert b.get(kb) == b"B" * 50
+        b.close()
+
+    def test_close_deletes_spill_files_in_user_dir(self, tmp_path):
+        a = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        a.put(b"x" * 64)
+        a.put(b"y" * 64)
+        assert len(os.listdir(tmp_path)) == 2
+        a.close()
+        assert os.listdir(tmp_path) == []  # files gone, directory kept
+        assert os.path.isdir(tmp_path)
+
+    def test_unknown_key_rejected(self):
+        with ByteArena() as a:
+            with pytest.raises(KeyError):
+                a.get(99)
+            a.discard(99)  # no-op by contract
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            ByteArena(budget_bytes=-1)
+
+
+@pytest.fixture
+def conv():
+    return Conv2D(3, 2, 3, rng=1, name="c")
+
+
+@pytest.fixture
+def act4d(rng):
+    return np.maximum(rng.standard_normal((2, 3, 16, 16)), 0).astype(np.float32)
+
+
+class TestArenaBackedContext:
+    def test_pack_stores_bytes_and_unpack_restores(self, conv, act4d):
+        with ByteArena(budget_bytes=1 << 20) as arena:
+            ctx = CompressingContext(
+                SZCompressor(entropy="zlib"), initial_rel_eb=1e-4, storage=arena
+            )
+            h = ctx.pack(conv, "x", act4d)
+            assert isinstance(h, PackedActivation)
+            assert h.arena_key is not None and h.compressed is None
+            assert len(arena) == 1
+            y = ctx.unpack(conv, "x", h)
+            assert np.abs(act4d - y).max() <= ctx.error_bounds["c"] * (1 + 1e-6)
+            assert len(arena) == 0  # released on unpack
+
+    def test_tracker_numbers_are_physical_bytes(self, conv, act4d):
+        """Under arena storage the tracker charge equals len(dumps(ct))."""
+        tracker = MemoryTracker()
+        with ByteArena(budget_bytes=None) as arena:
+            ctx = CompressingContext(
+                SZCompressor(entropy="zlib"), tracker=tracker, storage=arena
+            )
+            comp = SZCompressor(entropy="zlib")
+            eb_probe = CompressingContext(comp, initial_rel_eb=1e-3)
+            expected = len(codec_dumps(comp.compress(act4d, eb_probe.resolve_error_bound(conv, act4d))))
+            h = ctx.pack(conv, "x", act4d)
+            assert h.stored_nbytes == expected
+            assert arena.in_memory_nbytes == expected
+            assert tracker.per_layer["c"].stored_bytes == expected
+
+    def test_spill_to_disk_roundtrips(self, conv, act4d, tmp_path):
+        arena = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        ctx = CompressingContext(
+            SZCompressor(entropy="zlib"), initial_rel_eb=1e-4, storage=arena
+        )
+        h = ctx.pack(conv, "x", act4d)
+        assert arena.spill_count == 1
+        assert arena.in_memory_nbytes == 0
+        y = ctx.unpack(conv, "x", h)
+        assert np.abs(act4d - y).max() <= ctx.error_bounds["c"] * (1 + 1e-6)
+        arena.close()
+
+    def test_repeated_unpack_still_works_after_release(self, conv, act4d):
+        with ByteArena() as arena:
+            ctx = CompressingContext(
+                SZCompressor(entropy="zlib"), storage=arena
+            )
+            h = ctx.pack(conv, "x", act4d)
+            y1 = ctx.unpack(conv, "x", h)
+            y2 = ctx.unpack(conv, "x", h)  # bytes already released
+            np.testing.assert_array_equal(y1, y2)
+
+    def test_relu_recompute_with_unbounded_codec(self, conv, rng):
+        """Codecs without an error bound (jpeg/lossless) get the ReLU
+        recompute but no eb-band clamp — and must not crash."""
+        ctx = CompressingContext(get_codec("jpeg", quality=75))
+        ctx.relu_recompute_layers.add("c")
+        x = np.maximum(rng.standard_normal((1, 3, 16, 16)), 0).astype(np.float32)
+        h = ctx.pack(conv, "x", x)
+        y = ctx.unpack(conv, "x", h)
+        assert (y >= 0).all()
+
+    def test_chunked_codec_through_arena(self, conv, rng):
+        x = np.maximum(rng.standard_normal((4, 3, 16, 16)), 0).astype(np.float32)
+        ck = get_codec("chunked", inner="szlike", workers=2, min_chunk_nbytes=1 << 10,
+                       error_bound=1e-3, entropy="zlib")
+        with ByteArena() as arena:
+            ctx = CompressingContext(ck, initial_rel_eb=1e-4, storage=arena)
+            h = ctx.pack(conv, "x", x)
+            y = ctx.unpack(conv, "x", h)
+            assert np.abs(x - y).max() <= ctx.error_bounds["c"] * (1 + 1e-6)
+
+
+class TestReleaseExactlyOnce:
+    """Regression for the double-counted release: unpack + later discard
+    must credit the tracker's live-byte counters only once."""
+
+    def _packed(self, tracker, storage=None):
+        ctx = CompressingContext(
+            SZCompressor(entropy="zlib"), tracker=tracker, storage=storage
+        )
+        conv = Conv2D(3, 2, 3, rng=1, name="c")
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        return ctx, conv, x, ctx.pack(conv, "x", x)
+
+    def test_unpack_then_discard_releases_once(self):
+        t = MemoryTracker()
+        ctx, conv, x, h = self._packed(t)
+        assert t._live_raw == x.nbytes
+        ctx.unpack(conv, "x", h)
+        assert t._live_raw == 0 and t._live_stored == 0
+        # the handle still sits in Layer._saved; a later clear_saved
+        # discards it — this must NOT go negative
+        ctx.discard(conv, "x", h)
+        assert t._live_raw == 0 and t._live_stored == 0
+
+    def test_double_discard_releases_once(self):
+        t = MemoryTracker()
+        ctx, conv, x, h = self._packed(t)
+        ctx.discard(conv, "x", h)
+        ctx.discard(conv, "x", h)
+        assert t._live_raw == 0 and t._live_stored == 0
+
+    def test_repeated_unpack_releases_once(self):
+        t = MemoryTracker()
+        ctx, conv, x, h = self._packed(t)
+        ctx.unpack(conv, "x", h)
+        ctx.unpack(conv, "x", h)
+        assert t._live_raw == 0 and t._live_stored == 0
+
+    def test_codec_policy_releases_once(self):
+        from repro.core import CodecPolicy
+
+        t = MemoryTracker()
+        pol = CodecPolicy(SZCompressor(entropy="zlib"), tracker=t)
+        conv = Conv2D(3, 2, 3, rng=1, name="c")
+        x = np.random.default_rng(0).standard_normal((1, 3, 8, 8)).astype(np.float32)
+        h = pol.pack(conv, "x", x)
+        pol.unpack(conv, "x", h)
+        pol.discard(conv, "x", h)
+        assert t._live_raw == 0 and t._live_stored == 0
+
+    def test_layer_load_then_clear_saved(self):
+        """End-to-end through the Layer plumbing: _load leaves the handle
+        in _saved, clear_saved discards it afterwards."""
+        t = MemoryTracker()
+        ctx = CompressingContext(SZCompressor(entropy="zlib"), tracker=t)
+        conv = Conv2D(3, 2, 3, rng=1, name="c")
+        conv.saved_ctx = ctx
+        x = np.random.default_rng(0).standard_normal((1, 3, 8, 8)).astype(np.float32)
+        conv._save("x", x)
+        conv._load("x")  # unpack without popping
+        conv.clear_saved()  # discard the same handle
+        assert t._live_raw == 0 and t._live_stored == 0
+
+
+class TestArenaTraining:
+    def test_training_with_spill_stays_correct(self):
+        """quickstart-scale training through a tight arena budget: spills
+        happen, learning proceeds, live counters return to zero."""
+        from repro.core import AdaptiveConfig, CompressedTraining
+        from repro.nn import SyntheticImageDataset, Trainer, batches
+
+        net = Sequential([
+            Conv2D(3, 6, 3, padding=1, rng=1), ReLU(), MaxPool2D(2),
+            Conv2D(6, 8, 3, padding=1, rng=2), ReLU(), MaxPool2D(2),
+            Flatten(), Linear(8 * 4 * 4, 4, rng=3),
+        ])
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        tr = Trainer(net, opt)
+        with ByteArena(budget_bytes=2048) as arena:  # tiny: force spills
+            sess = CompressedTraining(
+                net, opt,
+                compressor=SZCompressor(entropy="zlib"),
+                config=AdaptiveConfig(W=5, warmup_iterations=2),
+                storage=arena,
+            ).attach(tr)
+            ds = SyntheticImageDataset(num_classes=4, image_size=16, channels=3, seed=3)
+            tr.train(batches(ds, 8, 6, seed=0))
+            assert arena.spill_count > 0
+            assert len(arena) == 0  # every pack released by backward
+            assert sess.tracker._live_raw == 0
+            assert all(r > 1 for r in sess.ratio_history())
