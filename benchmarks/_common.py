@@ -35,3 +35,45 @@ def smooth_activation(rng, shape, sigma=1.5, relu=True):
     if relu:
         x = np.maximum(x, 0)
     return x.astype(np.float32)
+
+
+#: CI-scale smoke mode shared by every benchmark that honors it
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+#: shared scale for the sync-vs-async engine axes (QUICK: CI smoke) —
+#: bench_overhead and bench_fig11 must measure the same configuration
+ENGINE_MODEL = "alexnet" if QUICK else "vgg16"
+ENGINE_IMAGE = 16 if QUICK else 32
+ENGINE_BATCH = 4 if QUICK else 16
+
+
+def timed_engine_run(engine, model=ENGINE_MODEL, image_size=ENGINE_IMAGE,
+                     batch=ENGINE_BATCH, iters=6):
+    """One compressed-training run for the sync-vs-async engine axes.
+
+    Returns ``(seconds, losses, session)``.  Deterministically seeded so
+    two runs that differ only in *engine* must produce bit-identical
+    losses and tracker numbers.
+    """
+    import time
+
+    from repro.compression import SZCompressor
+    from repro.core import AdaptiveConfig, CompressedTraining
+    from repro.models import build_scaled_model
+    from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+    net = build_scaled_model(model, num_classes=8, image_size=image_size, rng=42)
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+    trainer = Trainer(net, opt)
+    session = CompressedTraining(
+        net, opt,
+        compressor=SZCompressor(entropy="zlib", zero_filter=True),
+        config=AdaptiveConfig(W=10, warmup_iterations=2),
+        engine=engine,
+    ).attach(trainer)
+    dataset = SyntheticImageDataset(num_classes=8, image_size=image_size, signal=0.4, seed=7)
+    t0 = time.perf_counter()
+    trainer.train(batches(dataset, batch, iters, seed=1))
+    elapsed = time.perf_counter() - t0
+    trainer.close()
+    return elapsed, trainer.history.losses, session

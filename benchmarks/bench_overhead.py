@@ -3,13 +3,29 @@
 Regenerates the paper's overhead numbers: ~17% at the same batch size
 (model-dependent; ~7% for VGG-16 when the saved memory funds a batch
 increase), the Layrub migration comparison (2.4x memory at 24.1% cost),
-plus codec throughput microbenchmarks on real activation tensors.
+plus codec throughput microbenchmarks on real activation tensors and a
+*measured* sync-vs-async compression-engine comparison (the paper's
+overlap claim) on a VGG-scale conv stack.
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-scale smoke run of the engine
+comparison (tiny model, no speedup assertion — containers may have one
+core); the bit-identity assertions always run.
 """
+
+import os
 
 import numpy as np
 import pytest
 
-from _common import smooth_activation, write_report
+from _common import (
+    ENGINE_BATCH,
+    ENGINE_IMAGE,
+    ENGINE_MODEL,
+    QUICK,
+    smooth_activation,
+    timed_engine_run,
+    write_report,
+)
 from repro.compression import (
     DeflateCompressor,
     JpegLikeCompressor,
@@ -64,6 +80,51 @@ def test_overhead_policies_report(benchmark):
     ]
     write_report("sec54_overhead", rows)
     assert 0.0 < vgg_ours < 0.15
+
+
+# -- sync vs async engine: the overlap claim, measured for real ------------
+
+ENGINE_ITERS = 2 if QUICK else 6
+
+
+def test_engine_overlap_report(benchmark):
+    """Async engine overlaps pack with the next layer's forward: same
+    bits, byte-exact tracker numbers, lower wall clock (multi-core)."""
+
+    def run():
+        return {
+            name: timed_engine_run(name, iters=ENGINE_ITERS)
+            for name in ("sync", "async")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    t_sync, losses_sync, sess_sync = results["sync"]
+    t_async, losses_async, sess_async = results["async"]
+
+    # Contract before speed: async must be indistinguishable from sync.
+    np.testing.assert_array_equal(losses_sync, losses_async)
+    assert sess_sync.tracker.iteration_ratios == sess_async.tracker.iteration_ratios
+    assert sess_sync.tracker.peak_stored_bytes == sess_async.tracker.peak_stored_bytes
+    assert sess_async.tracker._live_raw == 0 and sess_async.tracker._live_stored == 0
+
+    eng = sess_async.engine
+    speedup = t_sync / t_async if t_async else 0.0
+    rows = [
+        f"Compression engine overlap — {ENGINE_MODEL} (image {ENGINE_IMAGE}, "
+        f"batch {ENGINE_BATCH}, {ENGINE_ITERS} iters)" + (" [QUICK]" if QUICK else ""),
+        f"{'engine':8s} {'wall clock':>11s} {'ratio':>7s}",
+        f"{'sync':8s} {t_sync:>10.3f}s {sess_sync.tracker.overall_ratio:>6.1f}x",
+        f"{'async':8s} {t_async:>10.3f}s {sess_async.tracker.overall_ratio:>6.1f}x",
+        f"overlap speedup: {speedup:.2f}x "
+        f"(packs overlapped {eng.packs_overlapped}/{eng.packs_submitted}, "
+        f"prefetch hits {eng.prefetch_hits}/{eng.prefetches_scheduled})",
+        "losses bit-identical, tracker byte-exact: yes (asserted)",
+    ]
+    write_report("engine_overlap", rows)
+
+    assert eng.packs_submitted > 0
+    if not QUICK and (os.cpu_count() or 1) >= 2:
+        assert speedup > 1.0, f"no overlap win (speedup {speedup:.2f}x)"
 
 
 @pytest.fixture(scope="module")

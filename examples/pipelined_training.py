@@ -1,0 +1,69 @@
+"""Pipelined training: overlap compression with compute, for real.
+
+The paper's performance claim is that activation compression costs
+almost no wall-clock time because it is *overlapped* with training.
+This example runs the same compressed training twice — once with the
+synchronous engine (compress inline with every pack/unpack) and once
+with ``engine="async"`` (pack jobs run on a worker pool while the next
+layer's forward computes; outstanding handles are prefetched in reverse
+order ahead of backward) — and shows that the async run produces the
+*bit-identical* losses and tracker numbers, only faster on multi-core
+hosts.
+
+    python examples/pipelined_training.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.compression import get_codec
+from repro.core import AdaptiveConfig, AsyncEngine, CompressedTraining
+from repro.models import build_scaled_model
+from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+ITERATIONS = 20
+BATCH = 16
+
+
+def run(engine):
+    dataset = SyntheticImageDataset(num_classes=8, image_size=32, signal=0.4, seed=7)
+    net = build_scaled_model("vgg16", num_classes=8, image_size=32, rng=42)
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9, weight_decay=5e-4)
+    with Trainer(net, opt) as trainer:
+        session = CompressedTraining(
+            net, opt,
+            compressor=get_codec("szlike", entropy="zlib", zero_filter=True),
+            config=AdaptiveConfig(W=10, warmup_iterations=3),
+            engine=engine,
+        ).attach(trainer)
+        t0 = time.perf_counter()
+        trainer.train(batches(dataset, BATCH, ITERATIONS, seed=1))
+        elapsed = time.perf_counter() - t0
+    return elapsed, trainer.history.losses, session
+
+
+def main():
+    print(f"training vgg16 (scaled) for {ITERATIONS} iterations (batch {BATCH})...\n")
+    t_sync, losses_sync, sess_sync = run("sync")
+    print(f"sync engine : {t_sync:.2f}s "
+          f"({sess_sync.tracker.overall_ratio:.1f}x activation reduction)")
+
+    engine = AsyncEngine(workers=2, prefetch_depth=2)
+    t_async, losses_async, sess_async = run(engine)
+    print(f"async engine: {t_async:.2f}s "
+          f"({sess_async.tracker.overall_ratio:.1f}x activation reduction)")
+
+    assert np.array_equal(losses_sync, losses_async), "engines must match bit-for-bit"
+    assert sess_sync.tracker.iteration_ratios == sess_async.tracker.iteration_ratios
+    print("\nlosses and tracker numbers are bit-identical across engines")
+    print(f"overlap speedup: {t_sync / t_async:.2f}x "
+          f"(single-core hosts will show ~1.0x)")
+    print(f"engine stats: {engine.packs_overlapped}/{engine.packs_submitted} packs "
+          f"overlapped forward compute, "
+          f"{engine.prefetch_hits}/{engine.prefetches_scheduled} unpacks served "
+          "by reverse-order prefetch")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import json
 import struct
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
@@ -312,6 +312,24 @@ def wire_header_nbytes(data: bytes) -> int:
 CHUNK_HEADER_BYTES = 32
 
 
+# Module-level trampolines: ProcessPoolExecutor can only ship picklable
+# callables, so per-chunk work is expressed as (codec, args) tuples
+# rather than the bound-method closures the thread path uses.
+def _chunk_compress(args):
+    codec, part, error_bound = args
+    return codec.compress(part, error_bound=error_bound)
+
+
+def _chunk_decompress(args):
+    codec, ct = args
+    return codec.decompress(ct)
+
+
+def _chunk_estimate(args):
+    codec, part, error_bound = args
+    return codec.estimate_nbytes(part, error_bound=error_bound)
+
+
 @dataclass
 class ChunkedCompressedTensor:
     """Container for per-chunk compressed objects (split along one axis)."""
@@ -358,12 +376,19 @@ class ChunkedCodec:
         A :class:`Codec` instance or a registry key (extra kwargs go to
         :func:`get_codec`).
     workers:
-        Thread count.  zlib's deflate/inflate and NumPy's vectorized
-        kernels drop the GIL, so threads deliver real concurrency without
-        the serialization cost of processes.
+        Worker count for whichever executor is selected.
     min_chunk_nbytes:
         Tensors smaller than ``2 * min_chunk_nbytes`` are not split —
         chunking overhead would swamp the win.
+    executor:
+        ``"thread"`` (default): zlib's deflate/inflate and NumPy's
+        vectorized kernels drop the GIL, so threads deliver real
+        concurrency without serialization cost.  ``"process"``: a
+        process pool that also parallelizes the *GIL-bound* stages —
+        chiefly the Huffman codebook build's Python heap loop — at the
+        price of pickling chunks across the process boundary.  The
+        process pool is created eagerly at construction (forking lazily
+        from a multi-threaded engine worker would be hazardous).
 
     Equivalence contract: the reconstruction is bit-identical to the
     unchunked path whenever the inner codec treats leading-axis slices
@@ -382,6 +407,7 @@ class ChunkedCodec:
         *,
         workers: int = 4,
         min_chunk_nbytes: int = 1 << 20,
+        executor: str = "thread",
         **inner_kwargs,
     ):
         if isinstance(inner, str):
@@ -392,15 +418,27 @@ class ChunkedCodec:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if min_chunk_nbytes < 1:
             raise ValueError(f"min_chunk_nbytes must be >= 1, got {min_chunk_nbytes}")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         self.inner = inner
         self.workers = int(workers)
         self.min_chunk_nbytes = int(min_chunk_nbytes)
+        self.executor = executor
         self.error_bounded = bool(getattr(inner, "error_bounded", False))
         self.lossless = bool(getattr(inner, "lossless", False))
-        # Lazily-created persistent pool: compress/decompress sit on the
-        # per-layer per-iteration pack/unpack hot path, so thread churn
-        # per call would be pure overhead.
-        self._pool: Optional[ThreadPoolExecutor] = None
+        # Persistent pool: compress/decompress sit on the per-layer
+        # per-iteration pack/unpack hot path, so worker churn per call
+        # would be pure overhead.  Threads are created lazily; a process
+        # pool forks all its workers now (ProcessPoolExecutor spawns on
+        # first submit, so a no-op is pushed through) while the process
+        # is still single-threaded — forking later from e.g. an async
+        # engine worker could inherit held locks into the children.
+        self._pool: Optional[Any] = None
+        if executor == "process" and self.workers > 1:
+            # workers == 1 always takes _run's inline path; don't fork a
+            # pool that could never be used.
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool.submit(int).result()
 
     # -- helpers ---------------------------------------------------------
     def _num_chunks(self, x: np.ndarray) -> int:
@@ -409,20 +447,41 @@ class ChunkedCodec:
         by_size = max(1, x.nbytes // self.min_chunk_nbytes)
         return int(min(self.workers, x.shape[0], by_size))
 
-    def _map(self, fn, items: List[Any]) -> List[Any]:
-        if self.workers <= 1 or len(items) <= 1:
-            return [fn(it) for it in items]
+    def _run(self, op, arg_lists: List[tuple], inline) -> List[Any]:
+        """Fan per-chunk work out to the configured executor.
+
+        *op* is a module-level trampoline taking ``(inner, *args)`` (the
+        picklable form the process pool needs); *inline* is the
+        equivalent direct call used for the no-parallelism fast path.
+        """
+        if self.workers <= 1 or len(arg_lists) <= 1:
+            return [inline(*args) for args in arg_lists]
+        if self.executor == "process":
+            # Never recreate a process pool lazily: after close() or
+            # unpickling, the process may be multi-threaded (async engine
+            # workers) and forking then can inherit held locks.  Degrade
+            # to inline serial execution instead.
+            if self._pool is None:
+                return [inline(*args) for args in arg_lists]
+            return list(self._pool.map(op, [(self.inner, *args) for args in arg_lists]))
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="chunked-codec"
             )
-        return list(self._pool.map(fn, items))
+        return list(self._pool.map(lambda args: inline(*args), arg_lists))
 
     def close(self) -> None:
-        """Shut down the worker pool (recreated lazily if used again)."""
+        """Shut down the worker pool.  A thread pool is recreated lazily
+        if the codec is used again; a closed process-backed codec keeps
+        working but runs its chunks inline (serially)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None  # executors don't pickle; rebuilt on use
+        return state
 
     def __del__(self):
         try:
@@ -437,7 +496,11 @@ class ChunkedCodec:
             error_bound = self.inner.resolve_error_bound(x)
         n = self._num_chunks(x)
         parts = np.array_split(x, n, axis=0) if n > 1 else [x]
-        chunks = self._map(lambda p: self.inner.compress(p, error_bound=error_bound), parts)
+        chunks = self._run(
+            _chunk_compress,
+            [(p, error_bound) for p in parts],
+            lambda p, eb: self.inner.compress(p, error_bound=eb),
+        )
         return ChunkedCompressedTensor(
             shape=x.shape, dtype=str(x.dtype), axis=0, chunks=chunks
         )
@@ -445,7 +508,9 @@ class ChunkedCodec:
     def decompress(self, ct: ChunkedCompressedTensor) -> np.ndarray:
         if not isinstance(ct, ChunkedCompressedTensor):
             return self.inner.decompress(ct)
-        parts = self._map(self.inner.decompress, ct.chunks)
+        parts = self._run(
+            _chunk_decompress, [(c,) for c in ct.chunks], self.inner.decompress
+        )
         out = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=ct.axis)
         return out.reshape(ct.shape)
 
@@ -455,7 +520,11 @@ class ChunkedCodec:
             error_bound = self.inner.resolve_error_bound(x)
         n = self._num_chunks(x)
         parts = np.array_split(x, n, axis=0) if n > 1 else [x]
-        ests = self._map(lambda p: self.inner.estimate_nbytes(p, error_bound=error_bound), parts)
+        ests = self._run(
+            _chunk_estimate,
+            [(p, error_bound) for p in parts],
+            lambda p, eb: self.inner.estimate_nbytes(p, error_bound=eb),
+        )
         return float(sum(ests)) + CHUNK_HEADER_BYTES
 
     def roundtrip(self, x: np.ndarray, error_bound: Optional[float] = None) -> np.ndarray:

@@ -188,6 +188,17 @@ class SZCompressor:
         # concurrently per chunk under a ChunkedCodec wrapper.
         self._rng_lock = threading.Lock()
 
+    # Locks don't pickle; ChunkedCodec(executor="process") ships the
+    # inner codec to pool workers, so drop the lock and rebuild it.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_rng_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._rng_lock = threading.Lock()
+
     # -- helpers ---------------------------------------------------------
     def resolve_error_bound(self, x: np.ndarray) -> float:
         """The absolute bound a compress() call on *x* would use.

@@ -10,7 +10,12 @@ from repro.core.error_model import (
 from repro.core.gradient_assessment import GradientAssessor
 from repro.core.memory_tracker import LayerMemoryRecord, MemoryTracker
 from repro.core.arena import ByteArena
-from repro.core.activation_store import CompressingContext, PackedActivation
+from repro.core.engine import AsyncEngine, CompressionEngine, SyncEngine, resolve_engine
+from repro.core.activation_store import (
+    BaseCompressionContext,
+    CompressingContext,
+    PackedActivation,
+)
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.framework import CompressedTraining
 from repro.core.policies import CodecPolicy, FixedBoundSZPolicy, RawPolicy
@@ -25,6 +30,11 @@ __all__ = [
     "LayerMemoryRecord",
     "MemoryTracker",
     "ByteArena",
+    "AsyncEngine",
+    "CompressionEngine",
+    "SyncEngine",
+    "resolve_engine",
+    "BaseCompressionContext",
     "CompressingContext",
     "PackedActivation",
     "AdaptiveConfig",

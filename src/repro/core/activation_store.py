@@ -1,11 +1,28 @@
-"""Compressed activation storage: the saved-tensor context the framework
+"""Compressed activation storage: the saved-tensor contexts the framework
 installs on convolutional layers (Section 4.4, "adaptive compression").
 
-``pack`` runs during the forward pass: the activation is compressed with
-the layer's current error bound and only the compressed representation is
-retained.  ``unpack`` runs when backpropagation reaches the layer again
-and decompresses.  Per-layer error bounds are owned by the adaptive
-controller; this class is the mechanism.
+``pack`` runs during the forward pass: the activation is compressed and
+only the compressed representation is retained.  ``unpack`` runs when
+backpropagation reaches the layer again and decompresses.
+
+:class:`BaseCompressionContext` owns everything the policies share —
+handle lifecycle, release-exactly-once tracker accounting, optional
+:class:`~repro.core.arena.ByteArena` storage — and delegates *execution*
+to an injected :class:`~repro.core.engine.CompressionEngine` strategy:
+
+* ``engine="sync"`` (default): compress/decompress inline, the
+  historical behaviour bit-for-bit.
+* ``engine="async"``: compression of layer *i*'s activation overlaps
+  layer *i+1*'s forward on a worker pool, and outstanding handles
+  (including arena-spilled bytes) are prefetched in reverse pack order
+  ahead of the backward pass.  Reconstructions and tracker numbers are
+  bit-identical to sync for every registry codec.
+
+Subclasses supply only the codec call: :class:`CompressingContext` adds
+the paper's adaptive per-layer error bounds, observed-statistics
+collection, and the Section 4.4 ReLU-recompute filter;
+:class:`~repro.core.policies.CodecPolicy` is the plain fixed-codec
+baseline.
 
 Two storage regimes:
 
@@ -24,8 +41,8 @@ of ``unpack``/``discard`` reaches it first; repeated unpacks (e.g. via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -34,30 +51,174 @@ from repro.compression.registry import Codec
 from repro.compression.registry import dumps as _codec_dumps
 from repro.compression.registry import loads as _codec_loads
 from repro.core.arena import ByteArena
+from repro.core.engine import CompressionEngine, resolve_engine
 from repro.core.memory_tracker import MemoryTracker
 from repro.nn.layers.base import Layer, SavedTensorContext
 
-__all__ = ["CompressingContext", "PackedActivation"]
+__all__ = ["BaseCompressionContext", "CompressingContext", "PackedActivation"]
 
 
-@dataclass
+# eq=False: handles are tracked by identity (engine _live/_pending lists
+# use index/remove); field-wise equality would compare compressed-tensor
+# ndarrays and is meaningless for a lifecycle object.
+@dataclass(eq=False)
 class PackedActivation:
     """Handle stored in place of the raw activation tensor."""
 
     raw_nbytes: int
-    nonzero_ratio: float
+    nonzero_ratio: float = 0.0
     #: bytes charged to the tracker: physical serialized length under
     #: arena storage, the ``nbytes`` accounting convention otherwise
-    stored_nbytes: int
+    stored_nbytes: int = 0
     #: the live compressed object (populated lazily under arena storage)
     compressed: Optional[object] = None
     #: arena key when the bytes live in a :class:`ByteArena`
     arena_key: Optional[int] = None
     #: True once the tracker has been credited for this handle
     released: bool = False
+    #: owning layer, for per-layer tracker/statistics keys
+    layer_name: str = ""
+    #: engine plumbing (internal): outstanding pack / prefetch futures
+    #: and the handle's slot in the engine's live-order record
+    _pack_future: Optional[object] = field(default=None, repr=False)
+    _prefetch_future: Optional[object] = field(default=None, repr=False)
+    _live_pos: Optional[int] = field(default=None, repr=False)
 
 
-class CompressingContext(SavedTensorContext):
+class BaseCompressionContext(SavedTensorContext):
+    """Shared saved-tensor machinery for every compressing policy.
+
+    Owns the packed-handle lifecycle, the release-exactly-once memory
+    accounting, and the optional byte-arena storage; the injected engine
+    decides where and when the pure codec work runs.  Subclasses
+    implement :meth:`_make_pack_job` and :meth:`_decompress` (plus the
+    optional observation/postprocess hooks).
+
+    Parameters
+    ----------
+    tracker:
+        Optional :class:`MemoryTracker` for accounting.
+    storage:
+        Optional :class:`ByteArena`.  When given, packed activations are
+        held as serialized byte strings in the arena instead of live
+        Python objects, and the tracker charge is the physical length.
+    engine:
+        ``"sync"`` (default), ``"async"``, or a
+        :class:`~repro.core.engine.CompressionEngine` instance.
+    """
+
+    def __init__(
+        self,
+        tracker: Optional[MemoryTracker] = None,
+        storage: Optional[ByteArena] = None,
+        engine: Union[CompressionEngine, str, None] = None,
+    ):
+        self.tracker = tracker or MemoryTracker()
+        self.storage = storage
+        self.engine = resolve_engine(engine, self)
+        self.enabled = True
+
+    # -- subclass hooks ----------------------------------------------------
+    def _should_pack(self, layer: Layer, arr) -> bool:
+        return self.enabled and isinstance(arr, np.ndarray) and arr.ndim == 4
+
+    def _make_pack_job(self, layer: Layer, arr: np.ndarray) -> Callable[[], tuple]:
+        """Return a zero-arg callable producing ``(ct, blob, extra)``.
+
+        The callable is *pure* compression work — it may run on an engine
+        worker thread — so any per-layer state (e.g. the resolved error
+        bound) must be captured on the submitting thread, in here.
+        ``blob`` is the serialized form (only when storage is set) and
+        ``extra`` is subclass payload for :meth:`_observe_pack`.
+        """
+        raise NotImplementedError
+
+    def _decompress(self, ct) -> np.ndarray:
+        """Decompress a codec object (thread-safe, deterministic)."""
+        raise NotImplementedError
+
+    def _observe_pack(self, handle: PackedActivation, ct, extra) -> None:
+        """Record per-layer statistics when a pack is finalized."""
+
+    def _postprocess(self, layer: Layer, handle: PackedActivation, out: np.ndarray):
+        """Adjust the reconstruction on the training thread at unpack."""
+        return out
+
+    # -- engine-facing internals -------------------------------------------
+    _loads = staticmethod(_codec_loads)
+
+    def _finalize_pack(self, handle: PackedActivation, payload: tuple) -> None:
+        """Commit a finished pack job: arena write + tracker charge.
+
+        Engines call this on the training thread, strictly in submission
+        order, so accounting sequences are identical across engines.
+        """
+        ct, blob, extra = payload
+        if self.storage is not None and blob is not None:
+            handle.stored_nbytes = len(blob)
+            handle.arena_key = self.storage.put(blob)
+        else:
+            handle.stored_nbytes = ct.nbytes
+            handle.compressed = ct
+        self._observe_pack(handle, ct, extra)
+        self.tracker.record_pack(handle.layer_name, handle.raw_nbytes, handle.stored_nbytes)
+
+    def _materialize(self, handle: PackedActivation) -> np.ndarray:
+        """Decompress *handle*, reading arena bytes if necessary.
+
+        The compressed object is kept on the handle so repeated unpacks
+        keep working after the arena entry is released.
+        """
+        ct = handle.compressed
+        if ct is None:
+            ct = self._loads(self.storage.get(handle.arena_key))
+            handle.compressed = ct
+        return self._decompress(ct)
+
+    # -- release bookkeeping -----------------------------------------------
+    def _release(self, handle: PackedActivation) -> None:
+        """Credit the tracker (and arena) for *handle* exactly once."""
+        if handle.released:
+            return
+        handle.released = True
+        self.engine.forget(handle)
+        if handle.arena_key is not None and self.storage is not None:
+            self.storage.discard(handle.arena_key)
+        self.tracker.record_release(handle.raw_nbytes, handle.stored_nbytes)
+
+    # -- SavedTensorContext interface --------------------------------------
+    def pack(self, layer: Layer, key: str, arr: np.ndarray):
+        if not self._should_pack(layer, arr):
+            return arr
+        handle = PackedActivation(raw_nbytes=arr.nbytes, layer_name=layer.name)
+        self.engine.submit_pack(handle, self._make_pack_job(layer, arr))
+        return handle
+
+    def unpack(self, layer: Layer, key: str, handle) -> np.ndarray:
+        if not isinstance(handle, PackedActivation):
+            return handle
+        out = self.engine.obtain(handle)
+        out = self._postprocess(layer, handle, out)
+        self._release(handle)
+        return out
+
+    def discard(self, layer: Layer, key: str, handle) -> None:
+        if isinstance(handle, PackedActivation):
+            # The tracker must see the pack before its release.
+            self.engine.ensure_packed(handle)
+            self._release(handle)
+
+    # -- lifecycle ---------------------------------------------------------
+    def flush(self) -> None:
+        """Finalize every in-flight pack (no-op for the sync engine)."""
+        self.engine.flush()
+
+    def close(self) -> None:
+        """Shut down the engine's worker pool (safe mid-flight)."""
+        self.engine.close()
+
+
+class CompressingContext(BaseCompressionContext):
     """Saved-tensor context that compresses 4-D activations on pack.
 
     Parameters
@@ -70,12 +231,8 @@ class CompressingContext(SavedTensorContext):
         Until the controller assigns a layer an absolute bound, the first
         pack resolves ``eb = initial_rel_eb * value_range`` — a
         conservative warm-up choice.
-    tracker:
-        Optional :class:`MemoryTracker` for accounting.
-    storage:
-        Optional :class:`ByteArena`.  When given, packed activations are
-        held as serialized byte strings in the arena instead of live
-        Python objects.
+    tracker, storage, engine:
+        See :class:`BaseCompressionContext`.
     """
 
     def __init__(
@@ -84,13 +241,13 @@ class CompressingContext(SavedTensorContext):
         initial_rel_eb: float = 1e-3,
         tracker: Optional[MemoryTracker] = None,
         storage: Optional[ByteArena] = None,
+        engine: Union[CompressionEngine, str, None] = None,
     ):
+        super().__init__(tracker=tracker, storage=storage, engine=engine)
         self.compressor = compressor or SZCompressor(error_bound=1e-3, entropy="huffman")
         if initial_rel_eb <= 0:
             raise ValueError("initial_rel_eb must be positive")
         self.initial_rel_eb = float(initial_rel_eb)
-        self.tracker = tracker or MemoryTracker()
-        self.storage = storage
         #: layers whose saved input is a ReLU output: after decompression
         #: the activation function is recomputed (``max(x, 0)``), the
         #: paper's first zero-preservation mechanism (Section 4.4) — it
@@ -103,7 +260,6 @@ class CompressingContext(SavedTensorContext):
         #: per-layer latest achieved compression ratio (physical bytes
         #: under arena storage)
         self.observed_ratio: Dict[str, float] = {}
-        self.enabled = True
 
     def resolve_error_bound(self, layer: Layer, arr: np.ndarray) -> float:
         eb = self.error_bounds.get(layer.name)
@@ -114,56 +270,32 @@ class CompressingContext(SavedTensorContext):
         self.error_bounds[layer.name] = eb
         return eb
 
-    # -- release bookkeeping -----------------------------------------------
-    def _release(self, handle: PackedActivation) -> None:
-        """Credit the tracker (and arena) for *handle* exactly once."""
-        if handle.released:
-            return
-        handle.released = True
-        if handle.arena_key is not None and self.storage is not None:
-            self.storage.discard(handle.arena_key)
-        self.tracker.record_release(handle.raw_nbytes, handle.stored_nbytes)
-
-    # -- SavedTensorContext interface --------------------------------------
-    def pack(self, layer: Layer, key: str, arr: np.ndarray):
-        if not self.enabled or not isinstance(arr, np.ndarray) or arr.ndim != 4:
-            return arr
+    # -- BaseCompressionContext hooks --------------------------------------
+    def _make_pack_job(self, layer: Layer, arr: np.ndarray) -> Callable[[], tuple]:
+        # The bound is resolved here, on the submitting thread: first-pack
+        # bound assignment mutates per-layer state and must happen in
+        # forward order regardless of the engine.
         eb = self.resolve_error_bound(layer, arr)
-        ct = self.compressor.compress(arr, error_bound=eb)
-        nz = float(np.count_nonzero(arr)) / arr.size
-        if self.storage is not None:
-            blob = _codec_dumps(ct)
-            handle = PackedActivation(
-                raw_nbytes=arr.nbytes,
-                nonzero_ratio=nz,
-                stored_nbytes=len(blob),
-                arena_key=self.storage.put(blob),
-            )
-        else:
-            handle = PackedActivation(
-                raw_nbytes=arr.nbytes,
-                nonzero_ratio=nz,
-                stored_nbytes=ct.nbytes,
-                compressed=ct,
-            )
-        self.observed_nonzero[layer.name] = nz
-        self.observed_ratio[layer.name] = (
-            arr.nbytes / handle.stored_nbytes if handle.stored_nbytes else 0.0
-        )
-        self.tracker.record_pack(layer.name, arr.nbytes, handle.stored_nbytes)
-        return handle
+        serialize = self.storage is not None
 
-    def unpack(self, layer: Layer, key: str, handle) -> np.ndarray:
-        if not isinstance(handle, PackedActivation):
-            return handle
-        ct = handle.compressed
-        if ct is None:
-            # Arena storage: materialize the compressed object from its
-            # bytes; keep it on the handle so repeated unpacks still work
-            # after the arena entry is released below.
-            ct = _codec_loads(self.storage.get(handle.arena_key))
-            handle.compressed = ct
-        out = self.compressor.decompress(ct)
+        def job():
+            ct = self.compressor.compress(arr, error_bound=eb)
+            nz = float(np.count_nonzero(arr)) / arr.size
+            return ct, _codec_dumps(ct) if serialize else None, nz
+
+        return job
+
+    def _decompress(self, ct) -> np.ndarray:
+        return self.compressor.decompress(ct)
+
+    def _observe_pack(self, handle: PackedActivation, ct, nz) -> None:
+        handle.nonzero_ratio = nz
+        self.observed_nonzero[handle.layer_name] = nz
+        self.observed_ratio[handle.layer_name] = (
+            handle.raw_nbytes / handle.stored_nbytes if handle.stored_nbytes else 0.0
+        )
+
+    def _postprocess(self, layer: Layer, handle: PackedActivation, out: np.ndarray):
         if layer.name in self.relu_recompute_layers:
             # Recompute the activation function (Section 4.4): negative
             # drift is erased by the ReLU; positive drift is bounded by
@@ -172,12 +304,7 @@ class CompressingContext(SavedTensorContext):
             # without a per-element bound (jpeg, lossless) only get the
             # ReLU itself — there is no eb band to clamp.
             np.maximum(out, 0, out=out)
-            eb = getattr(ct, "error_bound", None)
+            eb = getattr(handle.compressed, "error_bound", None)
             if eb is not None:
                 out[out <= eb] = 0
-        self._release(handle)
         return out
-
-    def discard(self, layer: Layer, key: str, handle) -> None:
-        if isinstance(handle, PackedActivation):
-            self._release(handle)

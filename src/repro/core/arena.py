@@ -12,6 +12,14 @@ Eviction is FIFO (oldest first), which is optimal for the training
 workload: backward consumes activations in reverse pack order, so the
 first-packed (earliest-layer) bytes are exactly the ones needed last.
 
+Every operation is serialized behind an internal re-entrant lock, so the
+arena is safe to share with the async compression engine's worker pool
+(:mod:`repro.core.engine`): concurrent ``put``/``get``/``discard``
+cannot corrupt the FIFO order, double-spill an entry, or tear the byte
+accounting.  :meth:`prefetch` stages spilled entries back into an
+in-memory cache ahead of need — the engine calls it in reverse pack
+order before the backward pass reads the bytes.
+
 Usage::
 
     arena = ByteArena(budget_bytes=32 << 20)
@@ -25,9 +33,10 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import threading
 import uuid
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 __all__ = ["ByteArena"]
 
@@ -56,11 +65,18 @@ class ByteArena:
         self._mem: "OrderedDict[int, bytes]" = OrderedDict()
         #: key -> (path, nbytes) for spilled entries
         self._disk: Dict[int, Tuple[str, int]] = {}
+        #: key -> bytes staged back from disk by :meth:`prefetch`; the
+        #: disk entry stays authoritative until the key is discarded
+        self._staged: Dict[int, bytes] = {}
         self._next_key = 0
         #: unique per-arena spill-file prefix so arenas sharing a
         #: spill_dir cannot clobber each other's entries
         self._tag = uuid.uuid4().hex[:12]
         self._closed = False
+        #: serializes all mutation and read paths: the async engine's
+        #: workers call get/prefetch while the training thread puts and
+        #: discards
+        self._lock = threading.RLock()
         # -- statistics ---------------------------------------------------
         self.in_memory_nbytes = 0
         self.spilled_nbytes = 0
@@ -68,8 +84,12 @@ class ByteArena:
         self.peak_total_nbytes = 0
         #: number of entries ever written to disk
         self.spill_count = 0
+        #: number of spilled entries ever staged back by :meth:`prefetch`
+        self.prefetch_count = 0
+        #: bytes currently held in the prefetch staging cache
+        self.prefetched_nbytes = 0
 
-    # -- internals ---------------------------------------------------------
+    # -- internals (callers hold the lock) ----------------------------------
     def _ensure_spill_dir(self) -> str:
         if self._spill_dir is None:
             self._spill_dir = tempfile.mkdtemp(prefix="repro-arena-")
@@ -94,60 +114,145 @@ class ByteArena:
             self._spill_oldest()
 
     def _track_peaks(self) -> None:
-        self.peak_in_memory_nbytes = max(self.peak_in_memory_nbytes, self.in_memory_nbytes)
+        # Resident bytes include the prefetch staging cache: it is real
+        # memory even though it duplicates disk and bypasses the FIFO
+        # budget (staging volume is bounded by the caller, not the arena).
+        resident = self.in_memory_nbytes + self.prefetched_nbytes
+        self.peak_in_memory_nbytes = max(self.peak_in_memory_nbytes, resident)
         self.peak_total_nbytes = max(self.peak_total_nbytes, self.total_nbytes)
 
     # -- API ---------------------------------------------------------------
     def put(self, data: bytes) -> int:
         """Store *data*; returns the key for :meth:`get`/:meth:`pop`."""
-        if self._closed:
-            raise RuntimeError("arena is closed")
-        key = self._next_key
-        self._next_key += 1
-        self._mem[key] = bytes(data)
-        self.in_memory_nbytes += len(data)
-        # Peaks reflect the true resident high-water mark: the new entry
-        # is held in memory before any spill relieves the budget.
-        self._track_peaks()
-        self._maybe_spill()
-        return key
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            key = self._next_key
+            self._next_key += 1
+            self._mem[key] = bytes(data)
+            self.in_memory_nbytes += len(data)
+            # Peaks reflect the true resident high-water mark: the new entry
+            # is held in memory before any spill relieves the budget.
+            self._track_peaks()
+            self._maybe_spill()
+            return key
 
     def get(self, key: int) -> bytes:
-        """Read the bytes for *key* without releasing the entry."""
-        if key in self._mem:
-            return self._mem[key]
+        """Read the bytes for *key* without releasing the entry.
+
+        A staged prefetch copy is consumed (handed off) by the first
+        read — the cache exists to bridge prefetch-to-use, not to hold a
+        duplicate of the spill file indefinitely."""
+        with self._lock:
+            if key in self._mem:
+                return self._mem[key]
+            staged = self._staged.pop(key, None)
+            if staged is not None:
+                self.prefetched_nbytes -= len(staged)
+                return staged
+            try:
+                path, _ = self._disk[key]
+            except KeyError:
+                raise KeyError(f"arena key {key} not found") from None
+        # Disk read outside the lock so concurrent prefetch workers and
+        # the training thread overlap their I/O instead of serializing.
         try:
-            path, _ = self._disk[key]
-        except KeyError:
+            with open(path, "rb") as f:
+                return f.read()
+        except OSError:
+            # Either a genuine I/O failure, or we raced a concurrent
+            # discard/close of this key (which unlinks the file only
+            # after removing the key from _disk under the lock).
+            with self._lock:
+                if key in self._mem:
+                    return self._mem[key]
+                staged = self._staged.pop(key, None)
+                if staged is not None:
+                    self.prefetched_nbytes -= len(staged)
+                    return staged
+                if key in self._disk:
+                    raise  # entry still registered: a real disk error
             raise KeyError(f"arena key {key} not found") from None
-        with open(path, "rb") as f:
-            return f.read()
+
+    def prefetch(self, keys: Iterable[int]) -> int:
+        """Stage spilled entries back into memory ahead of use.
+
+        Reads the spill files for every *key* still on disk into an
+        in-memory cache so the subsequent :meth:`get` (typically on the
+        backward pass's critical path) is memory-speed.  Unknown,
+        resident, or already-staged keys are skipped.  The disk entry and
+        byte accounting are untouched — staging is a one-shot read-side
+        handoff, consumed by the first :meth:`get` (or dropped at
+        :meth:`discard`), so the bytes are never held in duplicate
+        longer than the prefetch-to-use window.  Staged bytes are NOT
+        subject to the FIFO budget (the caller bounds staging volume —
+        the async engine stages at most its prefetch window) but they do
+        count toward the reported resident peak.  Returns the number of
+        entries staged.
+        """
+        staged = 0
+        for key in keys:
+            with self._lock:
+                if self._closed:
+                    break
+                if key in self._mem or key in self._staged:
+                    continue
+                entry = self._disk.get(key)
+                if entry is None:
+                    continue
+                path = entry[0]
+            # Read outside the lock (see get()); revalidate before
+            # inserting in case the entry was discarded meanwhile.
+            try:
+                with open(path, "rb") as f:
+                    data = f.read()
+            except OSError:
+                continue
+            with self._lock:
+                if self._closed or key not in self._disk or key in self._staged:
+                    continue
+                self._staged[key] = data
+                self.prefetched_nbytes += len(data)
+                self.prefetch_count += 1
+                self._track_peaks()
+                staged += 1
+        return staged
 
     def pop(self, key: int) -> bytes:
-        """Read and release the entry (spill files are deleted)."""
+        """Read and release the entry (spill files are deleted).
+
+        The caller owns *key* (concurrent pops of the same key are a
+        caller bug), so the read happens outside the lock like
+        :meth:`get` and only the release itself serializes."""
         data = self.get(key)
         self.discard(key)
         return data
 
     def discard(self, key: int) -> None:
         """Release the entry without reading it; unknown keys are a no-op."""
-        if key in self._mem:
-            self.in_memory_nbytes -= len(self._mem.pop(key))
-            return
-        entry = self._disk.pop(key, None)
-        if entry is not None:
-            path, nbytes = entry
-            self.spilled_nbytes -= nbytes
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        with self._lock:
+            staged = self._staged.pop(key, None)
+            if staged is not None:
+                self.prefetched_nbytes -= len(staged)
+            if key in self._mem:
+                self.in_memory_nbytes -= len(self._mem.pop(key))
+                return
+            entry = self._disk.pop(key, None)
+            if entry is not None:
+                path, nbytes = entry
+                self.spilled_nbytes -= nbytes
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
 
     def __contains__(self, key: int) -> bool:
-        return key in self._mem or key in self._disk
+        with self._lock:
+            return key in self._mem or key in self._disk
 
     def __len__(self) -> int:
-        return len(self._mem) + len(self._disk)
+        with self._lock:
+            return len(self._mem) + len(self._disk)
 
     @property
     def total_nbytes(self) -> int:
@@ -158,21 +263,24 @@ class ByteArena:
         """Drop every entry, delete spill files, and remove the owned
         spill directory (a user-provided directory is left in place,
         minus this arena's files)."""
-        if self._closed:
-            return
-        self._mem.clear()
-        for path, _ in self._disk.values():
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-        self._disk.clear()
-        self.in_memory_nbytes = 0
-        self.spilled_nbytes = 0
-        if self._owns_spill_dir and self._spill_dir is not None:
-            shutil.rmtree(self._spill_dir, ignore_errors=True)
-            self._spill_dir = None
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._mem.clear()
+            self._staged.clear()
+            for path, _ in self._disk.values():
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            self._disk.clear()
+            self.in_memory_nbytes = 0
+            self.spilled_nbytes = 0
+            self.prefetched_nbytes = 0
+            if self._owns_spill_dir and self._spill_dir is not None:
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
+                self._spill_dir = None
+            self._closed = True
 
     def __enter__(self) -> "ByteArena":
         return self

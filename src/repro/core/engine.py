@@ -1,0 +1,390 @@
+"""Compression engines: execution strategies for the saved-tensor path.
+
+The paper's headline performance claim is that compression *overlaps*
+training: packing layer *i*'s activation runs concurrently with layer
+*i+1*'s forward compute, and spilled activations are prefetched ahead of
+the backward pass, so the memory savings come at near-zero wall-clock
+cost.  This module factors that scheduling decision out of the storage
+contexts (:mod:`repro.core.activation_store`, :mod:`repro.core.policies`)
+into a pluggable strategy object:
+
+* :class:`SyncEngine` — compress/decompress inline on the caller's
+  thread.  This is the historical behaviour, bit-for-bit.
+* :class:`AsyncEngine` — ``pack`` submits the compression job to a
+  worker pool and returns immediately with a future-backed handle, so
+  compression overlaps the next layer's forward; the forward pack order
+  is recorded and outstanding handles are prefetched (arena bytes read
+  back, deserialized, and decompressed) in *reverse* order ahead of the
+  backward pass.
+
+Exactness contract: for deterministic codecs (every registry codec) the
+async engine produces **bit-identical reconstructions** and **byte-exact
+tracker numbers** versus the sync engine.  Two ordering rules enforce
+this:
+
+1. Pack jobs are *finalized* (arena write + tracker charge) strictly in
+   submission order, on the submitting thread — never from a worker —
+   so ``record_pack`` sequences are identical across engines.
+2. Before any handle is materialized or discarded, every outstanding
+   pack is finalized (:meth:`AsyncEngine.flush`).  Within a training
+   iteration all packs happen during forward and all releases during
+   backward, so the interleaving of tracker operations — and therefore
+   every live/peak counter — matches the sync engine exactly.
+
+Engines are bound to exactly one context (:meth:`CompressionEngine.bind`)
+and assume pack/unpack/discard are driven from a single training thread;
+only the pure compression/serialization work runs on pool workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Deque, List, Optional, Union
+
+__all__ = ["CompressionEngine", "SyncEngine", "AsyncEngine", "resolve_engine"]
+
+
+class CompressionEngine:
+    """Strategy interface between a compression context and its codec work.
+
+    The owning context (a ``BaseCompressionContext``) calls
+    :meth:`submit_pack` / :meth:`obtain` / :meth:`ensure_packed` /
+    :meth:`forget`; the engine decides *where and when* the pure codec
+    work runs and calls back into the context's ``_finalize_pack`` /
+    ``_materialize`` hooks for the stateful parts (arena writes, tracker
+    accounting), which always execute on the caller's thread.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._ctx: Optional[Any] = None
+
+    def bind(self, ctx: Any) -> "CompressionEngine":
+        """Attach to the owning context (one engine per context)."""
+        if self._ctx is not None and self._ctx is not ctx:
+            raise RuntimeError(
+                "engine is already bound to another context; "
+                "construct one engine per context"
+            )
+        self._ctx = ctx
+        return self
+
+    # -- strategy interface ------------------------------------------------
+    def submit_pack(self, handle: Any, job: Callable[[], tuple]) -> None:
+        """Run *job* (pure compression work) and finalize *handle* with
+        its payload, now or later depending on the strategy."""
+        raise NotImplementedError
+
+    def obtain(self, handle: Any):
+        """Return the decompressed array for a packed *handle*."""
+        raise NotImplementedError
+
+    def ensure_packed(self, handle: Any) -> None:
+        """Block until *handle* has been finalized (tracker charged)."""
+
+    def forget(self, handle: Any) -> None:
+        """Notification that *handle* was released (drop prefetch state)."""
+
+    def flush(self) -> None:
+        """Finalize every outstanding pack submission."""
+
+    def close(self) -> None:
+        """Finalize or cancel outstanding work and release pool threads."""
+
+    def __enter__(self) -> "CompressionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SyncEngine(CompressionEngine):
+    """Inline execution: pack and unpack run on the caller's thread.
+
+    This is the reference behaviour — the async engine's contract is
+    defined as "indistinguishable from :class:`SyncEngine` except for
+    wall-clock time".
+    """
+
+    name = "sync"
+
+    def submit_pack(self, handle: Any, job: Callable[[], tuple]) -> None:
+        self._ctx._finalize_pack(handle, job())
+
+    def obtain(self, handle: Any):
+        return self._ctx._materialize(handle)
+
+
+class AsyncEngine(CompressionEngine):
+    """Overlapped execution: pooled packing plus reverse-order prefetch.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count shared by pack jobs and prefetch jobs.  The
+        codec stages (zlib, vectorized NumPy) release the GIL, so threads
+        overlap with the training thread's compute.
+    prefetch_depth:
+        How many not-yet-consumed handles ahead of the current unpack
+        (in reverse pack order — the backward consumption order) to
+        materialize speculatively.  A second window of the same size
+        beyond that is *staged*: the spilled bytes of those handles are
+        read back into arena memory (:meth:`ByteArena.prefetch`) so the
+        decompress jobs that follow find them at memory speed.  ``0``
+        disables both.
+    max_pending:
+        Backpressure bound on the pack queue (default ``4 * workers``).
+        Every queued job closure keeps its raw activation alive, so an
+        unbounded queue behind a slow codec would quietly approach the
+        uncompressed memory baseline; once the bound is hit,
+        ``submit_pack`` blocks finalizing the oldest job first.
+
+    Determinism caveat: prefetch calls ``decompress`` from worker
+    threads, so codecs whose decompression draws from shared RNG state
+    (``SZCompressor(emulate_zero_drift=True)``, an ablation-only mode)
+    lose replay determinism; every registry codec is deterministic and
+    therefore bit-identical to :class:`SyncEngine`.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        prefetch_depth: int = 2,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if prefetch_depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
+        if max_pending is None:
+            max_pending = 4 * int(workers)
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.workers = int(workers)
+        self.prefetch_depth = int(prefetch_depth)
+        self.max_pending = int(max_pending)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: handles submitted but not yet finalized, in submission order
+        self._pending: Deque[Any] = deque()
+        #: finalized-or-pending handles not yet released, in pack order —
+        #: the forward record the reverse-order prefetcher walks.
+        #: Released handles are tombstoned (None) for O(1) removal and
+        #: the list is compacted when mostly dead.
+        self._live: List[Any] = []
+        self._dead = 0
+        self._closed = False
+        # -- statistics ---------------------------------------------------
+        self.packs_submitted = 0
+        #: packs whose job had already completed on a worker by the time
+        #: the training thread needed the result (true overlap wins)
+        self.packs_overlapped = 0
+        self.prefetches_scheduled = 0
+        #: obtains served from a completed prefetch (no inline decompress)
+        self.prefetch_hits = 0
+
+    # -- internals ---------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="compression-engine"
+            )
+        return self._pool
+
+    def _finalize_next(self) -> None:
+        handle = self._pending.popleft()
+        fut = handle._pack_future
+        handle._pack_future = None
+        if fut.done():
+            self.packs_overlapped += 1
+        try:
+            # .result() propagates codec errors on the training thread (at
+            # a later point than the sync engine would have raised them).
+            self._ctx._finalize_pack(handle, fut.result())
+        except BaseException:
+            # The handle was never charged to the tracker; mark it
+            # released so the error-path cleanup (clear_saved -> discard)
+            # cannot credit bytes that were never recorded, and drop it
+            # from the live-order record (the discard's forget would
+            # otherwise early-return on the released flag).
+            handle.released = True
+            self.forget(handle)
+            raise
+
+    def _drain_completed(self) -> None:
+        while self._pending and self._pending[0]._pack_future.done():
+            self._finalize_next()
+
+    def _prefetch_job(self, handle: Any):
+        """Worker-side speculative materialization; never raises.
+
+        Returns ``(ct, out)`` or ``None`` when the handle raced a discard
+        or shutdown — the consumer falls back to the inline path.
+        """
+        try:
+            ct = handle.compressed
+            if ct is None:
+                # get() consumes the staged copy when the stage-ahead
+                # window already read the spill file back into memory.
+                ct = self._ctx._loads(self._ctx.storage.get(handle.arena_key))
+            return ct, self._ctx._decompress(ct)
+        except Exception:
+            return None
+
+    def _compact_live(self) -> None:
+        self._live = [h for h in self._live if h is not None]
+        for pos, h in enumerate(self._live):
+            h._live_pos = pos
+        self._dead = 0
+
+    def _schedule_prefetch(self, current: Any) -> None:
+        if self.prefetch_depth <= 0:
+            return
+        pos = current._live_pos
+        if pos is None or pos >= len(self._live) or self._live[pos] is not current:
+            return
+        # Backward consumes in reverse pack order: after `current`, the
+        # next expected handles are the ones packed just before it.  The
+        # first window gets decompress jobs; the window beyond it gets
+        # its spilled bytes staged back into arena memory so those
+        # decompress jobs will start from memory, not disk.
+        stage_keys = []
+        seen = 0
+        idx = pos - 1
+        while idx >= 0 and seen < 2 * self.prefetch_depth:
+            handle = self._live[idx]
+            idx -= 1
+            if handle is None or handle.released:
+                continue
+            if seen < self.prefetch_depth:
+                if handle._prefetch_future is None:
+                    handle._prefetch_future = self._ensure_pool().submit(
+                        self._prefetch_job, handle
+                    )
+                    self.prefetches_scheduled += 1
+            elif handle._prefetch_future is None and handle.compressed is None and handle.arena_key is not None:
+                stage_keys.append(handle.arena_key)
+            seen += 1
+        if stage_keys and self._ctx.storage is not None:
+            self._ensure_pool().submit(self._ctx.storage.prefetch, stage_keys)
+
+    # -- strategy interface ------------------------------------------------
+    def submit_pack(self, handle: Any, job: Callable[[], tuple]) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        # Opportunistically retire completed jobs so tracker charges land
+        # as early as the ordering rule allows.
+        self._drain_completed()
+        # Backpressure: queued job closures pin their raw activations, so
+        # block on the oldest job once the pipeline is max_pending deep.
+        while len(self._pending) >= self.max_pending:
+            self._finalize_next()
+        handle._pack_future = self._ensure_pool().submit(job)
+        self._pending.append(handle)
+        handle._live_pos = len(self._live)
+        self._live.append(handle)
+        self.packs_submitted += 1
+
+    def obtain(self, handle: Any):
+        self.flush()
+        # Kick off the *next* handles' prefetch before blocking on this
+        # one, so speculative work overlaps the current decompress.
+        self._schedule_prefetch(handle)
+        fut = handle._prefetch_future
+        if fut is not None:
+            handle._prefetch_future = None
+            res = fut.result()
+            if res is not None:
+                ct, out = res
+                self.prefetch_hits += 1
+                if handle.compressed is None:
+                    handle.compressed = ct
+                return out
+        return self._ctx._materialize(handle)
+
+    def ensure_packed(self, handle: Any) -> None:
+        # Release barrier (ordering rule 2): the tracker must never see a
+        # release while *any* pack is still uncharged, so the whole queue
+        # drains — not just this handle's job.
+        if self._pending:
+            self.flush()
+
+    def forget(self, handle: Any) -> None:
+        pos = handle._live_pos
+        if pos is not None and pos < len(self._live) and self._live[pos] is handle:
+            self._live[pos] = None  # tombstone: O(1) removal
+            handle._live_pos = None
+            self._dead += 1
+            if self._dead > 32 and 2 * self._dead > len(self._live):
+                self._compact_live()
+        # An in-flight prefetch for a discarded handle completes (or
+        # fails) harmlessly on its worker; nobody consumes the future.
+        handle._prefetch_future = None
+
+    def flush(self) -> None:
+        while self._pending:
+            self._finalize_next()
+
+    def close(self) -> None:
+        """Shut down mid-flight safely: cancel what can be cancelled,
+        finalize what already ran (ignoring storage-closed errors), and
+        release the pool.  Idempotent."""
+        self._closed = True
+        while self._pending:
+            handle = self._pending.popleft()
+            fut = handle._pack_future
+            handle._pack_future = None
+            if fut.cancel():
+                # Never charged to the tracker — mark released so a late
+                # discard (clear_saved/detach) cannot credit bytes that
+                # were never recorded.
+                handle.released = True
+                continue
+            try:
+                self._ctx._finalize_pack(handle, fut.result())
+            except Exception:
+                # Mid-flight shutdown: the arena may already be closed or
+                # the job itself failed; drop the handle, uncharged.
+                handle.released = True
+        self._live.clear()
+        self._dead = 0
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncEngine(workers={self.workers}, "
+            f"prefetch_depth={self.prefetch_depth}, "
+            f"pending={len(self._pending)}, live={len(self._live)})"
+        )
+
+
+def resolve_engine(
+    engine: Union["CompressionEngine", str, None], ctx: Any
+) -> CompressionEngine:
+    """Normalize an engine spec — ``None`` (sync), a name, or an
+    instance — and bind it to *ctx*."""
+    if engine is None:
+        engine = SyncEngine()
+    elif isinstance(engine, str):
+        key = engine.lower()
+        if key == "sync":
+            engine = SyncEngine()
+        elif key == "async":
+            engine = AsyncEngine()
+        else:
+            raise ValueError(f"unknown engine {engine!r}; expected 'sync' or 'async'")
+    elif not isinstance(engine, CompressionEngine):
+        raise TypeError(
+            f"engine must be a CompressionEngine, 'sync'/'async', or None, "
+            f"got {type(engine).__name__}"
+        )
+    return engine.bind(ctx)

@@ -14,12 +14,35 @@ paper's Figure 7 describes, per convolutional layer per iteration:
    conv activation with its layer's bound on the forward pass and
    decompresses on backward (with the zero-preserving filter).
 
+Execution is staged through a pluggable **compression engine**
+(:mod:`repro.core.engine`), the paper's overlap pipeline:
+
+* **Pack stage** (forward): each conv activation is handed to the
+  engine; under ``engine="async"`` the compression job runs on a worker
+  pool so packing layer *i* overlaps layer *i+1*'s forward compute,
+  while the handle returns immediately.  Finalization (arena write +
+  tracker charge) happens in submission order, keeping accounting
+  byte-exact versus the sync path.
+* **Prefetch stage** (between passes): the engine records the forward
+  pack order and speculatively materializes outstanding handles —
+  reading arena-spilled bytes back and decompressing — in *reverse*
+  order, ahead of where backpropagation will need them.
+* **Unpack stage** (backward): each layer's reconstruction is either the
+  completed prefetch or an inline decompress, followed by the
+  zero-preserving filter; every handle is released to the tracker
+  exactly once.
+
+``engine="sync"`` (the default) runs all three stages inline and defines
+the reference numbers: async results are bit-identical for every
+registry codec.
+
 Usage::
 
-    session = CompressedTraining(network, optimizer)
+    session = CompressedTraining(network, optimizer, engine="async")
     session.attach(trainer)
     trainer.train(batches(...))
     print(session.tracker.overall_ratio)
+    trainer.close()  # or session.close(): stops the engine's workers
 """
 
 from __future__ import annotations
@@ -32,6 +55,7 @@ from repro.compression.registry import Codec, get_codec
 from repro.compression.szlike import SZCompressor
 from repro.core.activation_store import CompressingContext
 from repro.core.arena import ByteArena
+from repro.core.engine import CompressionEngine
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.gradient_assessment import GradientAssessor
 from repro.core.memory_tracker import MemoryTracker
@@ -67,6 +91,11 @@ class CompressedTraining:
         Optional :class:`ByteArena` — packed activations are then held
         as serialized byte strings under the arena's in-memory budget
         (spill-to-disk overflow) and the tracker reports physical bytes.
+    engine:
+        ``"sync"`` (default), ``"async"``, or a
+        :class:`~repro.core.engine.CompressionEngine` instance — whether
+        pack/unpack run inline or overlap compute on a worker pool with
+        reverse-order prefetch (bit-identical results either way).
     """
 
     def __init__(
@@ -77,6 +106,7 @@ class CompressedTraining:
         config: Optional[AdaptiveConfig] = None,
         tracker: Optional[MemoryTracker] = None,
         storage: Optional[ByteArena] = None,
+        engine: Union[CompressionEngine, str, None] = None,
     ):
         self.network = network
         self.optimizer = optimizer
@@ -89,7 +119,10 @@ class CompressedTraining:
             initial_rel_eb=self.config.initial_rel_eb,
             tracker=self.tracker,
             storage=storage,
+            engine=engine,
         )
+        #: the resolved execution strategy (SyncEngine / AsyncEngine)
+        self.engine = self.ctx.engine
         self.assessor = GradientAssessor(optimizer, self.config.sigma_fraction)
         self.controller = AdaptiveController(self.config, self.assessor, self.ctx)
 
@@ -156,12 +189,18 @@ class CompressedTraining:
             layer.backward = tapped
 
     def attach(self, trainer: Trainer) -> "CompressedTraining":
-        """Register the per-iteration hook on *trainer*."""
+        """Register the per-iteration hook on *trainer* (and the engine
+        shutdown on ``trainer.close()``)."""
         trainer.post_backward_hooks.append(self._on_iteration)
+        trainer.close_hooks.append(lambda tr: self.close())
         return self
 
     # -- per-iteration hook --------------------------------------------------
     def _on_iteration(self, trainer: Trainer, record: IterationRecord) -> None:
+        # A handle packed but never consumed this iteration (layer saved a
+        # tensor backward didn't pop) must still be finalized before the
+        # iteration's accounting is read.
+        self.ctx.flush()
         ratio = self.tracker.end_iteration()
         record.extras["compression_ratio"] = ratio
         if self._collect_next:
@@ -192,3 +231,10 @@ class CompressedTraining:
 
         set_saved_ctx(self.network, SavedTensorContext(), predicate=lambda l: l.compressible)
         self.ctx.enabled = False
+
+    def close(self) -> None:
+        """Finalize in-flight packs and stop the engine's worker pool.
+
+        Idempotent; also invoked through ``trainer.close()`` once the
+        session is attached."""
+        self.ctx.close()

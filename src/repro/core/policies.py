@@ -10,6 +10,12 @@ paper's adaptive SZ compression:
 * :class:`FixedBoundSZPolicy` — SZ with one static error bound for all
   layers (the ablation against the adaptive controller).
 
+:class:`CodecPolicy` shares the handle-lifecycle, accounting, storage,
+and engine machinery with the adaptive context through
+:class:`~repro.core.activation_store.BaseCompressionContext`, so the
+baselines get byte-arena storage and sync/async execution for free and
+their tracker numbers follow exactly the same conventions.
+
 Recomputation and migration do not change *what* is stored but *when*
 time is spent; they are modeled in :mod:`repro.simulator` (the paper
 likewise treats them as orthogonal, Section 2.1).
@@ -17,11 +23,15 @@ likewise treats them as orthogonal, Section 2.1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.compression.registry import dumps as _codec_dumps
 from repro.compression.szlike import SZCompressor
+from repro.core.activation_store import BaseCompressionContext
+from repro.core.arena import ByteArena
+from repro.core.engine import CompressionEngine
 from repro.core.memory_tracker import MemoryTracker
 from repro.nn.layers.base import Layer, SavedTensorContext
 
@@ -45,53 +55,39 @@ class RawPolicy(SavedTensorContext):
         return handle
 
 
-class _Handle:
-    __slots__ = ("compressed", "raw_nbytes", "released")
-
-    def __init__(self, compressed, raw_nbytes):
-        self.compressed = compressed
-        self.raw_nbytes = raw_nbytes
-        self.released = False
-
-
-class CodecPolicy(SavedTensorContext):
+class CodecPolicy(BaseCompressionContext):
     """Store 4-D activations through an arbitrary codec object.
 
-    The codec must expose ``compress(arr) -> ct``, ``decompress(ct)``,
-    and the compressed object must expose ``nbytes``.
+    The codec must expose ``compress(arr) -> ct`` and ``decompress(ct)``,
+    and the compressed object must expose ``nbytes``.  Arena storage
+    additionally requires the compressed object to be serializable by
+    :func:`repro.compression.registry.dumps` (true for every registry
+    codec).
     """
 
-    def __init__(self, codec, tracker: Optional[MemoryTracker] = None):
+    def __init__(
+        self,
+        codec,
+        tracker: Optional[MemoryTracker] = None,
+        storage: Optional[ByteArena] = None,
+        engine: Union[CompressionEngine, str, None] = None,
+    ):
         if not (hasattr(codec, "compress") and hasattr(codec, "decompress")):
             raise TypeError("codec must provide compress()/decompress()")
+        super().__init__(tracker=tracker, storage=storage, engine=engine)
         self.codec = codec
-        self.tracker = tracker or MemoryTracker()
 
-    def pack(self, layer: Layer, key: str, arr):
-        if not isinstance(arr, np.ndarray) or arr.ndim != 4:
-            return arr
-        ct = self.codec.compress(arr)
-        self.tracker.record_pack(layer.name, arr.nbytes, ct.nbytes)
-        return _Handle(ct, arr.nbytes)
+    def _make_pack_job(self, layer: Layer, arr: np.ndarray) -> Callable[[], tuple]:
+        serialize = self.storage is not None
 
-    def _release(self, handle: "_Handle") -> None:
-        # Release exactly once per handle: a handle unpacked via
-        # ``Layer._load`` stays in ``Layer._saved`` and is discarded
-        # later — without the flag those bytes would be credited twice.
-        if handle.released:
-            return
-        handle.released = True
-        self.tracker.record_release(handle.raw_nbytes, handle.compressed.nbytes)
+        def job():
+            ct = self.codec.compress(arr)
+            return ct, _codec_dumps(ct) if serialize else None, None
 
-    def unpack(self, layer: Layer, key: str, handle):
-        if not isinstance(handle, _Handle):
-            return handle
-        self._release(handle)
-        return self.codec.decompress(handle.compressed)
+        return job
 
-    def discard(self, layer: Layer, key: str, handle):
-        if isinstance(handle, _Handle):
-            self._release(handle)
+    def _decompress(self, ct) -> np.ndarray:
+        return self.codec.decompress(ct)
 
 
 class FixedBoundSZPolicy(CodecPolicy):
@@ -103,8 +99,10 @@ class FixedBoundSZPolicy(CodecPolicy):
         tracker: Optional[MemoryTracker] = None,
         entropy: str = "huffman",
         zero_filter: bool = True,
+        storage: Optional[ByteArena] = None,
+        engine: Union[CompressionEngine, str, None] = None,
     ):
         codec = SZCompressor(
             error_bound=error_bound, entropy=entropy, zero_filter=zero_filter
         )
-        super().__init__(codec, tracker)
+        super().__init__(codec, tracker, storage=storage, engine=engine)

@@ -73,6 +73,11 @@ class Trainer:
     grad_transforms:
         Callables ``transform(trainer)`` applied to parameter gradients
         before the update (used for the Figure 9 error-injection study).
+    close_hooks:
+        Callables ``hook(trainer)`` run once by :meth:`close` — attached
+        sessions register resource teardown here (e.g. the compression
+        engine's worker pool).  The trainer is also a context manager:
+        ``with Trainer(...) as tr: ...`` closes on exit.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class Trainer:
         self.history = TrainHistory()
         self.post_backward_hooks: List[Callable] = []
         self.grad_transforms: List[Callable] = []
+        self.close_hooks: List[Callable] = []
         self.iteration = 0
         #: mean |dlogits-propagated loss| of the latest iteration, exposed
         #: for parameter collection (the paper's L-bar is per conv layer;
@@ -129,6 +135,21 @@ class Trainer:
                 break
             self.train_step(images, labels)
         return self.history
+
+    def close(self) -> None:
+        """Run registered close hooks exactly once (idempotent).
+
+        Attached sessions use this to stop worker pools and flush
+        engines; training after ``close`` is undefined for them."""
+        hooks, self.close_hooks = self.close_hooks, []
+        for hook in hooks:
+            hook(self)
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def evaluate(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
         """Top-1 accuracy on a held-out set (eval mode, no saved tensors)."""

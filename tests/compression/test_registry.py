@@ -179,3 +179,72 @@ class TestChunkedCodec:
     def test_rejects_bad_min_chunk_nbytes(self):
         with pytest.raises(ValueError):
             ChunkedCodec("szlike", min_chunk_nbytes=0)
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            ChunkedCodec("szlike", executor="gpu")
+
+
+class TestProcessExecutor:
+    """ChunkedCodec(executor='process'): the GIL-bound Huffman codebook
+    build parallelizes across processes, with identical results."""
+
+    @pytest.fixture()
+    def proc_codec(self):
+        ck = get_codec(
+            "chunked", inner="szlike", workers=2, min_chunk_nbytes=1 << 14,
+            executor="process", error_bound=1e-3, entropy="huffman",
+        )
+        yield ck
+        ck.close()
+
+    def test_matches_thread_executor_bit_for_bit(self, proc_codec, activation_tensor):
+        th = ChunkedCodec(
+            get_codec("szlike", error_bound=1e-3, entropy="huffman"),
+            workers=2, min_chunk_nbytes=1 << 14,
+        )
+        ct_p = proc_codec.compress(activation_tensor)
+        ct_t = th.compress(activation_tensor)
+        assert len(ct_p.chunks) == len(ct_t.chunks) > 1
+        assert ct_p.nbytes == ct_t.nbytes
+        np.testing.assert_array_equal(
+            proc_codec.decompress(ct_p), th.decompress(ct_t)
+        )
+
+    def test_closed_process_codec_degrades_to_inline(self, proc_codec, activation_tensor):
+        """A closed (or unpickled) process-backed codec must never fork a
+        new pool from a possibly multi-threaded process — it runs its
+        chunks inline instead, with identical results."""
+        ct = proc_codec.compress(activation_tensor)
+        proc_codec.close()
+        assert proc_codec._pool is None
+        ct2 = proc_codec.compress(activation_tensor)
+        assert proc_codec._pool is None  # not lazily recreated
+        assert ct2.nbytes == ct.nbytes
+        np.testing.assert_array_equal(
+            proc_codec.decompress(ct2), proc_codec.decompress(ct)
+        )
+
+    def test_estimate_through_processes(self, proc_codec, activation_tensor):
+        est = proc_codec.estimate_nbytes(activation_tensor)
+        actual = proc_codec.compress(activation_tensor).nbytes
+        assert 0.5 * actual < est < 1.5 * actual
+
+    def test_single_worker_never_forks_a_pool(self):
+        """workers=1 always runs inline, so no idle process is forked."""
+        ck = ChunkedCodec("szlike", workers=1, executor="process", error_bound=1e-3)
+        assert ck._pool is None
+        x = np.linspace(0, 1, 256, dtype=np.float32).reshape(1, 4, 8, 8)
+        np.testing.assert_allclose(ck.roundtrip(x), x, atol=1e-3)
+        assert ck._pool is None
+
+    def test_inner_codec_is_picklable(self):
+        """SZCompressor carries a thread lock; pickling (what the process
+        pool does per chunk) must survive and rebuild it."""
+        import pickle
+
+        sz = get_codec("szlike", error_bound=1e-3, entropy="huffman")
+        clone = pickle.loads(pickle.dumps(sz))
+        assert clone.error_bound == sz.error_bound
+        x = np.linspace(0, 1, 64, dtype=np.float32).reshape(1, 1, 8, 8)
+        np.testing.assert_array_equal(clone.roundtrip(x), sz.roundtrip(x))

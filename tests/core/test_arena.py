@@ -113,6 +113,95 @@ class TestByteArena:
         with pytest.raises(ValueError):
             ByteArena(budget_bytes=-1)
 
+    def test_prefetch_stages_spilled_entries(self, tmp_path):
+        a = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        keys = [a.put(bytes([i]) * 64) for i in range(4)]
+        assert a.prefetch(keys[:2]) == 2
+        assert a.prefetch_count == 2
+        assert a.prefetched_nbytes == 128
+        # staging is a cache: accounting and disk entries untouched
+        assert a.spilled_nbytes == 256
+        # re-prefetching already-staged keys is a no-op
+        assert a.prefetch(keys[:2]) == 0
+        assert a.prefetch_count == 2
+        # first get consumes the staged copy (one-shot handoff)...
+        assert a.get(keys[0]) == bytes([0]) * 64
+        assert a.prefetched_nbytes == 64
+        # ...while the entry itself stays live and re-readable from disk
+        assert a.get(keys[0]) == bytes([0]) * 64
+        # discard drops an unconsumed staged copy with the entry
+        a.discard(keys[1])
+        assert a.prefetched_nbytes == 0
+        for i, k in enumerate(keys[2:], start=2):
+            assert a.get(k) == bytes([i]) * 64
+        a.close()
+        assert a.prefetched_nbytes == 0
+
+    def test_prefetch_unknown_and_resident_keys_skipped(self):
+        with ByteArena(budget_bytes=None) as a:
+            k = a.put(b"resident")
+            assert a.prefetch([k, 999]) == 0
+
+
+class TestByteArenaThreadSafety:
+    """Concurrent engine workers must not corrupt the FIFO, double-spill,
+    or tear the byte accounting."""
+
+    def test_concurrent_put_get_discard(self, tmp_path):
+        import threading
+
+        a = ByteArena(budget_bytes=2048, spill_dir=str(tmp_path))
+        errors = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(100):
+                    size = int(rng.integers(16, 256))
+                    payload = bytes([seed]) * size
+                    k = a.put(payload)
+                    assert a.get(k) == payload
+                    a.prefetch((k,))
+                    assert a.pop(k) == payload
+                    assert k not in a
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(a) == 0
+        assert a.in_memory_nbytes == 0
+        assert a.spilled_nbytes == 0
+        assert a.prefetched_nbytes == 0
+        a.close()
+        assert os.listdir(tmp_path) == []
+
+    def test_concurrent_spill_pressure_exact_accounting(self):
+        import threading
+
+        a = ByteArena(budget_bytes=0)  # every put spills immediately
+        keys_per_thread = {}
+
+        def producer(tid):
+            keys_per_thread[tid] = [a.put(bytes([tid]) * 128) for _ in range(25)]
+
+        threads = [threading.Thread(target=producer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a.spill_count == 100
+        assert a.spilled_nbytes == 100 * 128
+        for tid, keys in keys_per_thread.items():
+            for k in keys:
+                assert a.pop(k) == bytes([tid]) * 128
+        assert a.total_nbytes == 0
+        a.close()
+
 
 @pytest.fixture
 def conv():
