@@ -4,14 +4,23 @@ Every ``bench_*`` module regenerates one table or figure from the paper's
 evaluation section and writes its rows to ``benchmarks/out/<name>.txt``
 (stdout is captured by pytest unless ``-s`` is passed, so the files are
 the durable record; EXPERIMENTS.md summarizes them).
+
+Performance-bearing benchmarks additionally emit a machine-readable
+``benchmarks/out/BENCH_<name>.json`` via :func:`write_bench_json` — the
+record ``benchmarks/check_regression.py`` compares against a baseline so
+CI can fail on throughput regressions instead of throwing the numbers
+away.
 """
 
-from __future__ import annotations
-
+import json
 import os
-from typing import Iterable
+import platform
+from typing import Dict, Iterable, Optional
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: schema version for the BENCH_*.json documents
+BENCH_SCHEMA = 1
 
 
 def write_report(name: str, lines: Iterable[str]) -> str:
@@ -21,6 +30,50 @@ def write_report(name: str, lines: Iterable[str]) -> str:
     with open(path, "w") as f:
         f.write(text)
     print(text)
+    return path
+
+
+def metric(
+    value: float,
+    unit: str = "",
+    higher_is_better: bool = True,
+    gate: bool = False,
+    tolerance: Optional[float] = None,
+) -> dict:
+    """One benchmark metric.
+
+    ``gate=True`` marks it for the regression check; *tolerance* (a
+    fraction, e.g. ``0.25`` = fail beyond a 25% regression) overrides the
+    checker's default band.  Dimensionless, machine-relative metrics
+    (speedups, deterministic compression ratios) make stable gates; raw
+    wall-clock values are usually recorded ungated for the trajectory.
+    """
+    doc = {
+        "value": float(value),
+        "unit": unit,
+        "higher_is_better": bool(higher_is_better),
+        "gate": bool(gate),
+    }
+    if tolerance is not None:
+        doc["tolerance"] = float(tolerance)
+    return doc
+
+
+def write_bench_json(name: str, metrics: Dict[str, dict], context: Optional[dict] = None) -> str:
+    """Write ``benchmarks/out/BENCH_<name>.json`` for the regression gate."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"BENCH_{name}.json")
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "quick": QUICK,
+        "python": platform.python_version(),
+        "metrics": metrics,
+        "context": context or {},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
     return path
 
 
@@ -48,27 +101,32 @@ ENGINE_BATCH = 4 if QUICK else 16
 
 
 def timed_engine_run(engine, model=ENGINE_MODEL, image_size=ENGINE_IMAGE,
-                     batch=ENGINE_BATCH, iters=6):
+                     batch=ENGINE_BATCH, iters=6, param_budget=None):
     """One compressed-training run for the sync-vs-async engine axes.
 
     Returns ``(seconds, losses, session)``.  Deterministically seeded so
-    two runs that differ only in *engine* must produce bit-identical
-    losses and tracker numbers.
+    two runs that differ only in *engine* (or in whether parameters live
+    out-of-core) must produce bit-identical losses and tracker numbers.
+    ``param_budget`` (bytes) additionally moves weights and optimizer
+    slots into an arena-backed :class:`ParamStore` with that in-memory
+    budget — the full out-of-core regime.
     """
     import time
 
     from repro.compression import SZCompressor
-    from repro.core import AdaptiveConfig, CompressedTraining
+    from repro.core import AdaptiveConfig, CompressedTraining, ParamStore
     from repro.models import build_scaled_model
     from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
 
     net = build_scaled_model(model, num_classes=8, image_size=image_size, rng=42)
     opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
     trainer = Trainer(net, opt)
+    param_storage = None if param_budget is None else ParamStore(budget_bytes=param_budget)
     session = CompressedTraining(
         net, opt,
         compressor=SZCompressor(entropy="zlib", zero_filter=True),
         config=AdaptiveConfig(W=10, warmup_iterations=2),
+        param_storage=param_storage,
         engine=engine,
     ).attach(trainer)
     dataset = SyntheticImageDataset(num_classes=8, image_size=image_size, signal=0.4, seed=7)

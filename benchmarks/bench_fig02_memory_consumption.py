@@ -6,7 +6,6 @@ saved-activation footprint at batch 32, and the published top-1 accuracy
 (reference values from Table 1 / the original papers).
 """
 
-import pytest
 
 from _common import write_report
 from repro.models import (

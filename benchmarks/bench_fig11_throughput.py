@@ -7,10 +7,17 @@ sync versus the async (overlapped pack + prefetch) compression engine.
 """
 
 import numpy as np
-import pytest
 
-from _common import ENGINE_BATCH, ENGINE_MODEL, QUICK, timed_engine_run, write_report
-from repro.simulator import BASELINE, IB_EDR, TrainingSimulator, V100, our_policy
+from _common import (
+    ENGINE_BATCH,
+    ENGINE_MODEL,
+    QUICK,
+    metric,
+    timed_engine_run,
+    write_bench_json,
+    write_report,
+)
+from repro.simulator import BASELINE, TrainingSimulator, V100, our_policy
 
 BATCHES = [8, 16, 32, 64, 128, 256]
 
@@ -69,6 +76,26 @@ def test_fig11_report(benchmark):
         "(losses bit-identical, asserted)",
     ]
     write_report("fig11_throughput", rows)
+    write_bench_json(
+        "fig11_throughput",
+        {
+            # Simulator numbers are analytic and deterministic: a tight
+            # gate that catches accidental cost-model changes.
+            "sim_1gpu_batch64_img_per_s": metric(
+                data["1 GPU"]["ours"][64].images_per_s, "img/s", gate=True, tolerance=0.01
+            ),
+            "sim_max_batch_headroom": metric(
+                mb_o / mb_b, "x", gate=True, tolerance=0.01
+            ),
+            "measured_sync_img_per_s": metric(
+                # Quick-mode measurement is ~2 tiny iterations: wide band.
+                ips_sync, "img/s", gate=True, tolerance=0.25 if not QUICK else 0.60
+            ),
+            "measured_async_img_per_s": metric(ips_async, "img/s"),
+            "async_over_sync": metric(ips_async / ips_sync, "x"),
+        },
+        context={"model": ENGINE_MODEL, "batch": ENGINE_BATCH, "iters": MEASURED_ITERS},
+    )
     assert ips_sync > 0 and ips_async > 0
 
     one = data["1 GPU"]["base"]

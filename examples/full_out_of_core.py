@@ -1,0 +1,98 @@
+"""Full out-of-core training: activations AND parameters beyond memory.
+
+The previous demos made *activations* physically out-of-core
+(``arena_out_of_core.py``); this one completes the picture.  A
+VGG-scale model trains with:
+
+* compressed activations in a budgeted :class:`ByteArena` (spill-to-disk
+  overflow, async prefetch before backward), and
+* weights + SGD momentum in a :class:`ParamStore` whose arena budget is
+  deliberately **smaller than the model's parameter footprint** — so the
+  full training state can never be resident at once.  Weights are
+  materialized just-in-time around each layer's forward/backward/update,
+  and the async engine's reverse-order prefetch stages the upcoming
+  layers' spilled parameter bytes alongside the spilled activations.
+
+The result is bit-identical to resident training (the ParamStore
+round-trip is lossless by construction) — the only cost is wall clock.
+
+    python examples/full_out_of_core.py
+"""
+
+from repro.core import AdaptiveConfig, ByteArena, CompressedTraining, ParamStore
+from repro.models import build_scaled_model
+from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+ITERATIONS = 20
+BATCH = 16
+ACT_BUDGET = 64 << 10  # 64 KiB for packed activations
+PARAM_BUDGET = 64 << 10  # in-memory ceiling for weights + momentum
+
+
+def main():
+    dataset = SyntheticImageDataset(num_classes=8, image_size=32, signal=0.4, seed=7)
+    net = build_scaled_model("vgg16", num_classes=8, image_size=32, rng=42)
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9, weight_decay=5e-4)
+    trainer = Trainer(net, opt)
+
+    param_bytes = sum(p.size * 4 for p in net.parameters())
+    state_bytes = 2 * param_bytes  # weights + momentum slots
+    assert PARAM_BUDGET < param_bytes, "demo wants a budget below the footprint"
+
+    store = ParamStore(budget_bytes=PARAM_BUDGET)
+    with ByteArena(budget_bytes=ACT_BUDGET) as act_arena:
+        session = CompressedTraining(
+            net,
+            opt,
+            compressor="szlike",
+            config=AdaptiveConfig(W=10, warmup_iterations=3),
+            storage=act_arena,
+            param_storage=store,
+            engine="async",
+        ).attach(trainer)
+
+        print(
+            f"model: vgg16-scaled, {param_bytes >> 10} KiB of weights "
+            f"({state_bytes >> 10} KiB with momentum) under a "
+            f"{PARAM_BUDGET >> 10} KiB parameter budget; "
+            f"{ACT_BUDGET >> 10} KiB activation budget"
+        )
+        print(f"training {ITERATIONS} iterations (batch {BATCH})...")
+        trainer.train(batches(dataset, BATCH, ITERATIONS, seed=1))
+
+        arena = store.storage
+        print(f"\nfinal loss: {trainer.history.losses[-1]:.3f}")
+        print(
+            f"activation memory reduction: {session.tracker.overall_ratio:.1f}x "
+            "(physical serialized bytes)"
+        )
+        largest = max(p.size * 4 for p in net.parameters())
+        print(
+            f"param arena: peak in-memory {arena.peak_in_memory_nbytes >> 10} KiB "
+            f"(FIFO budget {PARAM_BUDGET >> 10} KiB + staging cap "
+            f"{PARAM_BUDGET >> 10} KiB + largest entry {largest >> 10} KiB transient), "
+            f"{arena.spill_count} spills, {arena.prefetch_count} staged back"
+        )
+        assert arena.peak_in_memory_nbytes <= 2 * PARAM_BUDGET + 2 * largest
+        print(
+            f"param store: peak materialized {store.peak_materialized_nbytes >> 10} KiB "
+            f"of {state_bytes >> 10} KiB total state "
+            f"({store.fetch_count} fetches, {store.writeback_count} write-backs)"
+        )
+        print(
+            f"engine: {session.engine.packs_overlapped}/{session.engine.packs_submitted} "
+            f"packs overlapped, {session.engine.param_stages_scheduled} param stagings"
+        )
+        peak_resident = store.peak_materialized_nbytes + arena.peak_in_memory_nbytes
+        print(
+            f"peak resident training state: {peak_resident >> 10} KiB "
+            f"vs {state_bytes >> 10} KiB resident baseline "
+            f"({state_bytes / peak_resident:.1f}x reduction)"
+        )
+        assert store.peak_materialized_nbytes < param_bytes
+        trainer.close()  # stops workers, restores resident weights
+        assert len(arena) == 0, "all parameter entries released"
+
+
+if __name__ == "__main__":
+    main()

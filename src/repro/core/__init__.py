@@ -16,6 +16,7 @@ from repro.core.activation_store import (
     CompressingContext,
     PackedActivation,
 )
+from repro.core.param_store import ParamStore, StoredEntry, StoreSlots
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.framework import CompressedTraining
 from repro.core.policies import CodecPolicy, FixedBoundSZPolicy, RawPolicy
@@ -37,6 +38,9 @@ __all__ = [
     "BaseCompressionContext",
     "CompressingContext",
     "PackedActivation",
+    "ParamStore",
+    "StoredEntry",
+    "StoreSlots",
     "AdaptiveConfig",
     "AdaptiveController",
     "CompressedTraining",

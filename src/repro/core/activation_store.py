@@ -117,6 +117,11 @@ class BaseCompressionContext(SavedTensorContext):
         self.storage = storage
         self.engine = resolve_engine(engine, self)
         self.enabled = True
+        #: optional :class:`~repro.core.param_store.ParamStore` — when the
+        #: model's weights are arena-backed too, the async engine's
+        #: reverse-order prefetch stages the upcoming layers' spilled
+        #: parameter bytes alongside the spilled activations
+        self.param_store = None
 
     # -- subclass hooks ----------------------------------------------------
     def _should_pack(self, layer: Layer, arr) -> bool:

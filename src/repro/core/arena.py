@@ -174,7 +174,7 @@ class ByteArena:
                     raise  # entry still registered: a real disk error
             raise KeyError(f"arena key {key} not found") from None
 
-    def prefetch(self, keys: Iterable[int]) -> int:
+    def prefetch(self, keys: Iterable[int], max_bytes: Optional[int] = None) -> int:
         """Stage spilled entries back into memory ahead of use.
 
         Reads the spill files for every *key* still on disk into an
@@ -185,10 +185,14 @@ class ByteArena:
         handoff, consumed by the first :meth:`get` (or dropped at
         :meth:`discard`), so the bytes are never held in duplicate
         longer than the prefetch-to-use window.  Staged bytes are NOT
-        subject to the FIFO budget (the caller bounds staging volume —
-        the async engine stages at most its prefetch window) but they do
-        count toward the reported resident peak.  Returns the number of
-        entries staged.
+        subject to the FIFO budget but do count toward the reported
+        resident peak; volume is bounded either by the caller (the async
+        engine stages at most its prefetch window) or by *max_bytes* —
+        a staging-cache ceiling enforced atomically under the arena lock
+        (so concurrent prefetchers cannot jointly overshoot), with one
+        entry always admitted when the cache is empty so progress is
+        guaranteed even when ``max_bytes`` is smaller than the entry.
+        Returns the number of entries staged.
         """
         staged = 0
         for key in keys:
@@ -200,6 +204,12 @@ class ByteArena:
                 entry = self._disk.get(key)
                 if entry is None:
                     continue
+                if (
+                    max_bytes is not None
+                    and self._staged
+                    and self.prefetched_nbytes + entry[1] > max_bytes
+                ):
+                    break  # cap reached; keys are in priority order
                 path = entry[0]
             # Read outside the lock (see get()); revalidate before
             # inserting in case the entry was discarded meanwhile.
@@ -211,6 +221,12 @@ class ByteArena:
             with self._lock:
                 if self._closed or key not in self._disk or key in self._staged:
                     continue
+                if (
+                    max_bytes is not None
+                    and self._staged
+                    and self.prefetched_nbytes + len(data) > max_bytes
+                ):
+                    break  # lost the room to a concurrent prefetcher
                 self._staged[key] = data
                 self.prefetched_nbytes += len(data)
                 self.prefetch_count += 1

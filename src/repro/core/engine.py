@@ -189,6 +189,9 @@ class AsyncEngine(CompressionEngine):
         self.prefetches_scheduled = 0
         #: obtains served from a completed prefetch (no inline decompress)
         self.prefetch_hits = 0
+        #: staging requests for upcoming layers' spilled *parameter* bytes
+        #: (contexts with an attached ParamStore only)
+        self.param_stages_scheduled = 0
 
     # -- internals ---------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -256,6 +259,7 @@ class AsyncEngine(CompressionEngine):
         # its spilled bytes staged back into arena memory so those
         # decompress jobs will start from memory, not disk.
         stage_keys = []
+        upcoming_layers = []
         seen = 0
         idx = pos - 1
         while idx >= 0 and seen < 2 * self.prefetch_depth:
@@ -263,6 +267,8 @@ class AsyncEngine(CompressionEngine):
             idx -= 1
             if handle is None or handle.released:
                 continue
+            if handle.layer_name and handle.layer_name not in upcoming_layers:
+                upcoming_layers.append(handle.layer_name)
             if seen < self.prefetch_depth:
                 if handle._prefetch_future is None:
                     handle._prefetch_future = self._ensure_pool().submit(
@@ -274,6 +280,14 @@ class AsyncEngine(CompressionEngine):
             seen += 1
         if stage_keys and self._ctx.storage is not None:
             self._ensure_pool().submit(self._ctx.storage.prefetch, stage_keys)
+        # Out-of-core parameters ride the same reverse-order window: the
+        # layers whose backward runs next need their weights rebound, so
+        # stage their spilled parameter/slot bytes alongside the spilled
+        # activations (ParamStore.stage_layers is worker-thread safe).
+        param_store = getattr(self._ctx, "param_store", None)
+        if param_store is not None and upcoming_layers:
+            self._ensure_pool().submit(param_store.stage_layers, upcoming_layers)
+            self.param_stages_scheduled += 1
 
     # -- strategy interface ------------------------------------------------
     def submit_pack(self, handle: Any, job: Callable[[], tuple]) -> None:

@@ -59,6 +59,7 @@ from repro.core.engine import CompressionEngine
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.gradient_assessment import GradientAssessor
 from repro.core.memory_tracker import MemoryTracker
+from repro.core.param_store import ParamStore
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.layers.conv import Conv2D
 from repro.nn.network import iter_layers, set_saved_ctx
@@ -91,6 +92,15 @@ class CompressedTraining:
         Optional :class:`ByteArena` — packed activations are then held
         as serialized byte strings under the arena's in-memory budget
         (spill-to-disk overflow) and the tracker reports physical bytes.
+    param_storage:
+        Optional :class:`~repro.core.param_store.ParamStore` (or a
+        :class:`ByteArena` to wrap in one) — the model's weights and the
+        optimizer's slots then live as arena-backed bytes too,
+        materialized just-in-time around each layer's
+        forward/backward/update, making the *whole* training state
+        out-of-core rather than just the activations.  Under
+        ``engine="async"`` the reverse-order prefetch stages upcoming
+        layers' spilled parameter bytes ahead of backward.
     engine:
         ``"sync"`` (default), ``"async"``, or a
         :class:`~repro.core.engine.CompressionEngine` instance — whether
@@ -106,6 +116,7 @@ class CompressedTraining:
         config: Optional[AdaptiveConfig] = None,
         tracker: Optional[MemoryTracker] = None,
         storage: Optional[ByteArena] = None,
+        param_storage: Union[ParamStore, ByteArena, None] = None,
         engine: Union[CompressionEngine, str, None] = None,
     ):
         self.network = network
@@ -137,6 +148,23 @@ class CompressedTraining:
         self.conv_params: Dict[str, Parameter] = {}
         self._install_taps()
         self._collect_next = True  # warm-up: collect from iteration 0
+
+        #: optional out-of-core parameter/optimizer state (the tentpole
+        #: knob): attach AFTER the taps so the JIT bind wrapper is
+        #: outermost — weights are materialized before the tapped
+        #: backward runs.
+        self.param_store: Optional[ParamStore] = None
+        if param_storage is not None:
+            if isinstance(param_storage, ByteArena):
+                param_storage = ParamStore(storage=param_storage, tracker=self.tracker)
+            elif len(param_storage) == 0:
+                # Nothing adopted yet: fold the store's accounting into
+                # the session tracker so persistent parameter bytes and
+                # activation bytes share one set of books.
+                param_storage.tracker = self.tracker
+            self.param_store = param_storage
+            self.param_store.attach(network, optimizer)
+            self.ctx.param_store = self.param_store
 
     # -- wiring ------------------------------------------------------------
     def _mark_relu_fed_convs(self) -> None:
@@ -226,15 +254,21 @@ class CompressedTraining:
         return list(self.tracker.iteration_ratios)
 
     def detach(self) -> None:
-        """Restore plain storage (keeps tap wrappers, which become no-ops)."""
+        """Restore plain storage and resident parameters (keeps tap
+        wrappers, which become no-ops)."""
         from repro.nn.layers.base import SavedTensorContext
 
         set_saved_ctx(self.network, SavedTensorContext(), predicate=lambda l: l.compressible)
         self.ctx.enabled = False
+        if self.param_store is not None:
+            self.param_store.detach()
 
     def close(self) -> None:
-        """Finalize in-flight packs and stop the engine's worker pool.
+        """Finalize in-flight packs, stop the engine's worker pool, and
+        restore out-of-core parameters to residency.
 
         Idempotent; also invoked through ``trainer.close()`` once the
         session is attached."""
         self.ctx.close()
+        if self.param_store is not None:
+            self.param_store.close()

@@ -19,16 +19,18 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.layers.base import Parameter
-from repro.nn.optim import SGD
+from repro.nn.optim import Optimizer
 
 __all__ = ["GradientAssessor"]
 
 
 @dataclass
 class GradientAssessor:
-    """Computes per-layer sigma budgets from optimizer momentum state."""
+    """Computes per-layer sigma budgets from optimizer momentum state
+    (any :class:`Optimizer` with a momentum-class slot: SGD velocity,
+    Adam first moment)."""
 
-    optimizer: SGD
+    optimizer: Optimizer
     sigma_fraction: float = 0.01  # the paper's default (Figure 9)
 
     def __post_init__(self):

@@ -1,15 +1,22 @@
-"""Per-layer memory accounting for saved activations.
+"""Per-layer memory accounting for saved activations and persistent state.
 
 Tracks, per training iteration, the raw bytes each layer would have kept
 resident (baseline training) versus the bytes actually stored under the
 active memory policy — the quantities behind Table 1 and Figure 10's
 compression-ratio curve.
+
+Alongside the per-iteration activation pool there is a **persistent
+pool** for state that outlives iterations: arena-backed parameters and
+optimizer slots (:mod:`repro.core.param_store`).  Persistent entries are
+charged on adopt/write-back, credited exactly once on release, survive
+:meth:`MemoryTracker.end_iteration`, and count toward the peak byte
+watermarks next to the live activation bytes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 __all__ = ["LayerMemoryRecord", "MemoryTracker"]
 
@@ -38,6 +45,18 @@ class MemoryTracker:
         self.peak_stored_bytes = 0
         self._live_raw = 0
         self._live_stored = 0
+        #: persistent entry name -> (raw_bytes, stored_bytes)
+        self._persistent: Dict[str, Tuple[int, int]] = {}
+        self.persistent_raw_bytes = 0
+        self.persistent_stored_bytes = 0
+
+    def _track_peaks(self) -> None:
+        self.peak_raw_bytes = max(
+            self.peak_raw_bytes, self._live_raw + self.persistent_raw_bytes
+        )
+        self.peak_stored_bytes = max(
+            self.peak_stored_bytes, self._live_stored + self.persistent_stored_bytes
+        )
 
     def record_pack(self, layer_name: str, raw_bytes: int, stored_bytes: int) -> None:
         rec = self.per_layer.setdefault(layer_name, LayerMemoryRecord(layer_name))
@@ -48,12 +67,30 @@ class MemoryTracker:
         self._iter_stored += stored_bytes
         self._live_raw += raw_bytes
         self._live_stored += stored_bytes
-        self.peak_raw_bytes = max(self.peak_raw_bytes, self._live_raw)
-        self.peak_stored_bytes = max(self.peak_stored_bytes, self._live_stored)
+        self._track_peaks()
 
     def record_release(self, raw_bytes: int, stored_bytes: int) -> None:
         self._live_raw -= raw_bytes
         self._live_stored -= stored_bytes
+
+    # -- persistent pool (arena-backed parameters / optimizer slots) -------
+    def record_persistent(self, name: str, raw_bytes: int, stored_bytes: int) -> None:
+        """Charge (or re-charge, on write-back) one persistent entry."""
+        old = self._persistent.get(name)
+        if old is not None:
+            self.persistent_raw_bytes -= old[0]
+            self.persistent_stored_bytes -= old[1]
+        self._persistent[name] = (raw_bytes, stored_bytes)
+        self.persistent_raw_bytes += raw_bytes
+        self.persistent_stored_bytes += stored_bytes
+        self._track_peaks()
+
+    def release_persistent(self, name: str) -> None:
+        """Credit one persistent entry exactly once; releasing an unknown
+        (or already-released) entry is an accounting bug and raises."""
+        raw, stored = self._persistent.pop(name)
+        self.persistent_raw_bytes -= raw
+        self.persistent_stored_bytes -= stored
 
     def end_iteration(self) -> float:
         """Close the iteration; returns its overall compression ratio."""

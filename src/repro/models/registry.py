@@ -4,7 +4,7 @@ published reference numbers used by Figure 2 / Table 1 comparisons."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from repro.models.alexnet import alexnet_scaled_specs, alexnet_specs
 from repro.models.resnet import resnet18_specs, resnet50_specs, resnet_scaled_specs

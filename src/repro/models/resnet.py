@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.models.specs import (
-    BatchNormS, ConvS, FlattenS, GlobalAvgPoolS, LinearS, MaxPoolS, ReLUS, ResidualS,
+    BatchNormS, ConvS, GlobalAvgPoolS, LinearS, MaxPoolS, ReLUS, ResidualS,
 )
 
 __all__ = ["resnet18_specs", "resnet50_specs", "resnet_scaled_specs"]

@@ -9,7 +9,7 @@ computed (tens of GB of tensors never materialize).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

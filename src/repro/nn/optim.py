@@ -1,76 +1,172 @@
-"""Optimizers and learning-rate schedules.
+"""Optimizers, slot-based state, and learning-rate schedules.
+
+Optimizer state (SGD momentum, Adam moments) lives in named per-parameter
+**slots** behind a pluggable :class:`SlotState` backend rather than inside
+the optimizer object.  The default :class:`ResidentSlots` keeps plain
+arrays (the historical behaviour bit-for-bit); the out-of-core
+:class:`~repro.core.param_store.ParamStore` supplies a backend that holds
+every slot as arena-backed bytes and materializes it just-in-time around
+each parameter's update.
 
 SGD with momentum is first-class here because the paper's gradient
 assessment (Eq. 8) budgets the acceptable gradient-error sigma against
 the *average momentum magnitude* — the optimizer therefore exposes its
-momentum buffers for the framework to inspect.
+momentum-class slot for the framework to inspect
+(:meth:`Optimizer.momentum_buffer`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.layers.base import Parameter
 
-__all__ = ["SGD", "StepLR", "ConstantLR"]
+__all__ = [
+    "Optimizer",
+    "ResidentSlots",
+    "SlotState",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "ConstantLR",
+]
 
 
-class SGD:
-    """SGD with classical momentum and decoupled L2 weight decay.
+class SlotState:
+    """Where a parameter's optimizer slots physically live.
 
-    update: ``v = mu * v + g + wd * w``;  ``w -= lr * v``
-    (Caffe/TensorFlow convention used by the paper's experiments).
+    The optimizer calls :meth:`update` once per parameter per step; the
+    backend decides whether the yielded slot dict is the live storage
+    (resident) or a just-in-time materialization that is written back on
+    exit (store-backed).  :meth:`read` / :meth:`write` are the
+    introspection path (gradient assessment, snapshots).
     """
 
-    def __init__(
-        self,
-        params: Sequence[Parameter],
-        lr: float = 0.01,
-        momentum: float = 0.9,
-        weight_decay: float = 0.0,
-    ):
+    def init(self, param: Parameter, slots: Dict[str, np.ndarray]) -> None:
+        """Adopt freshly initialized (or migrated) slot arrays for *param*."""
+        raise NotImplementedError
+
+    @contextmanager
+    def update(self, param: Parameter) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield *param*'s slots (and its materialized weights) for one
+        in-place update; persist any mutation on exit."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def read(self, param: Parameter, slot: str) -> np.ndarray:
+        """Current value of one slot (live array or a fresh copy)."""
+        raise NotImplementedError
+
+    def write(self, param: Parameter, slot: str, value: np.ndarray) -> None:
+        """Overwrite one slot's value."""
+        raise NotImplementedError
+
+    def drop(self, param: Parameter) -> Dict[str, np.ndarray]:
+        """Remove and return *param*'s slot arrays (state migration)."""
+        raise NotImplementedError
+
+
+class ResidentSlots(SlotState):
+    """Default backend: slots are plain resident NumPy arrays."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def init(self, param: Parameter, slots: Dict[str, np.ndarray]) -> None:
+        self._slots[id(param)] = slots
+
+    @contextmanager
+    def update(self, param: Parameter) -> Iterator[Dict[str, np.ndarray]]:
+        # The live dict: in-place mutation *is* the persistence.
+        yield self._slots[id(param)]
+
+    def read(self, param: Parameter, slot: str) -> np.ndarray:
+        return self._slots[id(param)][slot]
+
+    def write(self, param: Parameter, slot: str, value: np.ndarray) -> None:
+        self._slots[id(param)][slot][...] = value
+
+    def drop(self, param: Parameter) -> Dict[str, np.ndarray]:
+        return self._slots.pop(id(param))
+
+
+class Optimizer:
+    """Base: slot-based parameter updates over a pluggable state backend.
+
+    Subclasses declare ``slot_names`` and implement :meth:`apply_update`
+    (pure in-place math over ``param.data`` / ``param.grad`` / the slot
+    arrays).  :meth:`step` fetches each parameter's slots from the
+    backend, applies the update, and lets the backend persist the result
+    — which is what allows optimizer state to live out-of-core.
+    """
+
+    #: names of the per-parameter state arrays this optimizer keeps
+    slot_names: Tuple[str, ...] = ()
+    #: the slot the paper's gradient assessment reads as "momentum"
+    momentum_slot: str = ""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
-        if not 0.0 <= momentum < 1.0:
-            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.params: List[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer received no parameters")
         self.lr = float(lr)
-        self.momentum = float(momentum)
-        self.weight_decay = float(weight_decay)
-        self.velocity: Dict[int, np.ndarray] = {
-            id(p): np.zeros_like(p.data) for p in self.params
-        }
         self.iteration = 0
+        self.state: SlotState = ResidentSlots()
+        for p in self.params:
+            self.state.init(p, self.init_slots(p))
 
+    # -- subclass interface ------------------------------------------------
+    def init_slots(self, param: Parameter) -> Dict[str, np.ndarray]:
+        """Fresh (zero) slot arrays for *param*."""
+        return {name: np.zeros_like(param.data) for name in self.slot_names}
+
+    def apply_update(self, param: Parameter, slots: Dict[str, np.ndarray]) -> None:
+        """Mutate ``param.data`` (and *slots*) in place for one step."""
+        raise NotImplementedError
+
+    # -- the step ----------------------------------------------------------
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
 
     def step(self) -> None:
         for p in self.params:
-            g = p.grad
-            if self.weight_decay:
-                g = g + self.weight_decay * p.data
-            v = self.velocity[id(p)]
-            v *= self.momentum
-            v += g
-            p.data -= self.lr * v
+            with self.state.update(p) as slots:
+                self.apply_update(p, slots)
         self.iteration += 1
+
+    # -- state backend plumbing --------------------------------------------
+    def use_slot_state(self, state: SlotState) -> None:
+        """Swap the slot backend, migrating every parameter's current
+        slot arrays (accumulated momentum survives the move)."""
+        for p in self.params:
+            state.init(p, self.state.drop(p))
+        self.state = state
+
+    def read_slot(self, param: Parameter, slot: str) -> np.ndarray:
+        return self.state.read(param, slot)
+
+    def write_slot(self, param: Parameter, slot: str, value: np.ndarray) -> None:
+        self.state.write(param, slot, value)
 
     # -- introspection used by the paper's framework -----------------------
     def momentum_buffer(self, p: Parameter) -> np.ndarray:
-        return self.velocity[id(p)]
+        """The momentum-class slot (live array under resident slots; a
+        materialized copy under a store backend — use :meth:`write_slot`
+        to persist mutations)."""
+        return self.state.read(p, self.momentum_slot)
 
     def average_momentum_magnitude(self) -> float:
-        """Mean |v| across all momentum entries (Eq. 8's M_average)."""
+        """Mean |momentum| across all entries (Eq. 8's M_average)."""
         total = 0.0
         count = 0
         for p in self.params:
-            v = self.velocity[id(p)]
+            v = self.state.read(p, self.momentum_slot)
             total += float(np.abs(v).sum())
             count += v.size
         return total / count if count else 0.0
@@ -85,10 +181,89 @@ class SGD:
         return total / count if count else 0.0
 
 
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled L2 weight decay.
+
+    update: ``v = mu * v + g + wd * w``;  ``w -= lr * v``
+    (Caffe/TensorFlow convention used by the paper's experiments).
+    """
+
+    slot_names = ("velocity",)
+    momentum_slot = "velocity"
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        super().__init__(params, lr)
+
+    def apply_update(self, p: Parameter, slots: Dict[str, np.ndarray]) -> None:
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        v = slots["velocity"]
+        v *= self.momentum
+        v += g
+        p.data -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction and L2 weight decay.
+
+    ``m = b1*m + (1-b1)*g``, ``v = b2*v + (1-b2)*g^2``,
+    ``w -= lr * m_hat / (sqrt(v_hat) + eps)``.  Both moment slots live in
+    the slot state, so Adam trains out-of-core through the same
+    :class:`~repro.core.param_store.ParamStore` path as SGD.
+    """
+
+    slot_names = ("exp_avg", "exp_avg_sq")
+    momentum_slot = "exp_avg"
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.001,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        b1, b2 = betas
+        if not 0.0 <= b1 < 1.0 or not 0.0 <= b2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.betas = (float(b1), float(b2))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        super().__init__(params, lr)
+
+    def apply_update(self, p: Parameter, slots: Dict[str, np.ndarray]) -> None:
+        b1, b2 = self.betas
+        t = self.iteration + 1
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        m, v = slots["exp_avg"], slots["exp_avg_sq"]
+        m *= b1
+        m += (1.0 - b1) * g
+        v *= b2
+        v += (1.0 - b2) * np.square(g)
+        m_hat = m / (1.0 - b1**t)
+        v_hat = v / (1.0 - b2**t)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
 class ConstantLR:
     """Fixed learning rate."""
 
-    def __init__(self, optimizer: SGD):
+    def __init__(self, optimizer: Optimizer):
         self.optimizer = optimizer
 
     def step(self) -> float:
@@ -98,7 +273,7 @@ class ConstantLR:
 class StepLR:
     """Multiply the LR by *gamma* every *step_size* optimizer steps."""
 
-    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
         if step_size <= 0:
             raise ValueError("step_size must be positive")
         self.optimizer = optimizer

@@ -15,7 +15,7 @@ import numpy as np
 from repro.nn.layers.base import Layer
 from repro.nn.layers.norm import BatchNorm2D
 from repro.nn.network import iter_layers
-from repro.nn.optim import SGD
+from repro.nn.optim import Optimizer
 
 __all__ = ["save_snapshot", "load_snapshot"]
 
@@ -25,13 +25,60 @@ def _named_params(network: Layer):
         yield p.name, p
 
 
-def save_snapshot(path: str, network: Layer, optimizer: Optional[SGD] = None) -> None:
-    """Write weights (+ BN running stats, + momentum buffers) to *path*."""
+def _slot_tag(slot: str) -> str:
+    # SGD's velocity keeps the historical "momentum/" key so snapshots
+    # written before the slot-based optimizer API still load.
+    return "momentum" if slot == "velocity" else f"slot_{slot}"
+
+
+def _param_store(optimizer: Optional[Optimizer]):
+    # Duck-typed: StoreSlots (repro.core.param_store) carries the store;
+    # nn cannot import core without a cycle.
+    return getattr(getattr(optimizer, "state", None), "store", None)
+
+
+def _read_param(p, optimizer: Optional[Optimizer]):
+    if p.data.flags.writeable:
+        return p.data
+    # Read-only stub: the weights live out-of-core in a ParamStore.
+    store = _param_store(optimizer)
+    if store is not None:
+        return store.fetch(p.name)
+    raise RuntimeError(
+        f"parameter {p.name!r} is store-backed (ParamStore attached) and no "
+        f"store-aware optimizer was passed; snapshot through the optimizer "
+        f"or detach the store first"
+    )
+
+
+def _write_param(p, optimizer: Optional[Optimizer], value) -> None:
+    if p.data.flags.writeable:
+        p.data[:] = value
+        return
+    store = _param_store(optimizer)
+    if store is not None:
+        store.writeback(p.name, value)
+        return
+    raise RuntimeError(
+        f"parameter {p.name!r} is store-backed (ParamStore attached) and no "
+        f"store-aware optimizer was passed; load through the optimizer or "
+        f"detach the store first"
+    )
+
+
+def save_snapshot(path: str, network: Layer, optimizer: Optional[Optimizer] = None) -> None:
+    """Write weights (+ BN running stats, + optimizer slots) to *path*.
+
+    Works for resident and :class:`~repro.core.param_store.ParamStore`-
+    backed training alike — store-backed weights are fetched through the
+    optimizer's slot state (pass the optimizer, or detach the store,
+    when parameters live out-of-core)."""
     arrays = {}
     for name, p in _named_params(network):
-        arrays[f"param/{name}"] = p.data
+        arrays[f"param/{name}"] = _read_param(p, optimizer)
         if optimizer is not None:
-            arrays[f"momentum/{name}"] = optimizer.momentum_buffer(p)
+            for slot in optimizer.slot_names:
+                arrays[f"{_slot_tag(slot)}/{name}"] = optimizer.read_slot(p, slot)
     for layer in iter_layers(network):
         if isinstance(layer, BatchNorm2D):
             arrays[f"bn_mean/{layer.name}"] = layer.running_mean
@@ -42,7 +89,7 @@ def save_snapshot(path: str, network: Layer, optimizer: Optional[SGD] = None) ->
     np.savez(path, **arrays)
 
 
-def load_snapshot(path: str, network: Layer, optimizer: Optional[SGD] = None) -> None:
+def load_snapshot(path: str, network: Layer, optimizer: Optional[Optimizer] = None) -> None:
     """Restore a snapshot written by :func:`save_snapshot` in place.
 
     The network must have the same architecture (parameter names and
@@ -58,10 +105,12 @@ def load_snapshot(path: str, network: Layer, optimizer: Optional[SGD] = None) ->
                     f"shape mismatch for {name!r}: snapshot {data[key].shape} "
                     f"vs model {p.data.shape}"
                 )
-            p.data[:] = data[key]
-            mkey = f"momentum/{name}"
-            if optimizer is not None and mkey in data:
-                optimizer.momentum_buffer(p)[:] = data[mkey]
+            _write_param(p, optimizer, data[key])
+            if optimizer is not None:
+                for slot in optimizer.slot_names:
+                    skey = f"{_slot_tag(slot)}/{name}"
+                    if skey in data:
+                        optimizer.write_slot(p, slot, data[skey])
         for layer in iter_layers(network):
             if isinstance(layer, BatchNorm2D):
                 if f"bn_mean/{layer.name}" in data:

@@ -78,6 +78,13 @@ class Trainer:
         sessions register resource teardown here (e.g. the compression
         engine's worker pool).  The trainer is also a context manager:
         ``with Trainer(...) as tr: ...`` closes on exit.
+    param_store:
+        Optional :class:`~repro.core.param_store.ParamStore` — the
+        trainer attaches it to (network, optimizer) so weights and
+        optimizer slots live out-of-core, and registers its teardown
+        (weights restored to residency) on :meth:`close`.  Sessions that
+        manage their own store (``CompressedTraining(param_storage=...)``)
+        don't pass one here.
     """
 
     def __init__(
@@ -86,11 +93,13 @@ class Trainer:
         optimizer: SGD,
         loss: Optional[SoftmaxCrossEntropy] = None,
         lr_schedule=None,
+        param_store=None,
     ):
         self.network = network
         self.optimizer = optimizer
         self.loss = loss or SoftmaxCrossEntropy()
         self.lr_schedule = lr_schedule
+        self.param_store = param_store
         self.history = TrainHistory()
         self.post_backward_hooks: List[Callable] = []
         self.grad_transforms: List[Callable] = []
@@ -100,6 +109,9 @@ class Trainer:
         #: for parameter collection (the paper's L-bar is per conv layer;
         #: per-layer values come from the framework's layer taps).
         self.last_loss_value: float = float("nan")
+        if param_store is not None:
+            param_store.attach(network, optimizer)
+            self.close_hooks.append(lambda tr: param_store.close())
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> IterationRecord:
         """One forward/backward/update iteration; returns its record."""

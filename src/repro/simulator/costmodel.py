@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.models.specs import LayerReport, walk_shapes
+from repro.models.specs import walk_shapes
 from repro.simulator.gpu import DeviceSpec
 
 __all__ = ["LayerCost", "model_costs", "iteration_time", "activation_bytes", "gradient_bytes"]

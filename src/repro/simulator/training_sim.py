@@ -14,10 +14,8 @@ answer the paper's performance questions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
-
-import numpy as np
 
 from repro.models.registry import full_model_specs
 from repro.simulator.costmodel import (

@@ -7,7 +7,7 @@ three so experiments are reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -142,6 +142,30 @@ class TestByteArena:
             k = a.put(b"resident")
             assert a.prefetch([k, 999]) == 0
 
+    def test_prefetch_max_bytes_caps_staging_cache(self, tmp_path):
+        a = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        keys = [a.put(bytes([i]) * 64) for i in range(4)]
+        # cap admits entries until the cache would exceed max_bytes
+        assert a.prefetch(keys, max_bytes=128) == 2
+        assert a.prefetched_nbytes == 128
+        # cache full: further capped prefetches stage nothing
+        assert a.prefetch(keys[2:], max_bytes=128) == 0
+        # consuming a staged copy frees room for the next one
+        a.get(keys[0])
+        assert a.prefetch(keys[2:], max_bytes=128) == 1
+        a.close()
+
+    def test_prefetch_max_bytes_zero_still_admits_one(self, tmp_path):
+        """Progress guarantee: an empty staging cache admits one entry
+        even when max_bytes is smaller than the entry (the budget-0
+        spill-everything regime)."""
+        a = ByteArena(budget_bytes=0, spill_dir=str(tmp_path))
+        keys = [a.put(b"x" * 64) for _ in range(2)]
+        assert a.prefetch(keys, max_bytes=0) == 1
+        assert a.prefetched_nbytes == 64
+        assert a.prefetch(keys, max_bytes=0) == 0  # cache non-empty now
+        a.close()
+
 
 class TestByteArenaThreadSafety:
     """Concurrent engine workers must not corrupt the FIFO, double-spill,

@@ -20,7 +20,6 @@ from repro.core import (
     CompressingContext,
     MemoryTracker,
     SyncEngine,
-    resolve_engine,
 )
 from repro.nn import (
     Conv2D,

@@ -12,7 +12,6 @@ from repro.core import (
     PackedActivation,
 )
 from repro.compression.szlike import SZCompressor
-from repro.models import build_scaled_model
 from repro.nn import (
     Conv2D,
     Flatten,

@@ -2,7 +2,6 @@
 decompression so ReLU zeros survive regardless of codec behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.compression import SZCompressor
 from repro.core import AdaptiveConfig, CompressedTraining

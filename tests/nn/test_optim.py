@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import ConstantLR, Parameter, SGD, StepLR
+from repro.nn import Adam, ConstantLR, Parameter, ResidentSlots, SGD, StepLR
 
 
 def _params(rng, n=2):
@@ -78,6 +78,78 @@ class TestSGD:
             SGD(_params(rng), lr=0.1, momentum=1.0)
         with pytest.raises(ValueError):
             SGD([], lr=0.1)
+
+
+class TestSlotAPI:
+    def test_slots_live_in_state_backend(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1, momentum=0.9)
+        assert isinstance(opt.state, ResidentSlots)
+        assert opt.slot_names == ("velocity",)
+        ps[0].grad[:] = 1.0
+        opt.step()
+        np.testing.assert_allclose(opt.read_slot(ps[0], "velocity"), ps[0].grad)
+
+    def test_write_slot_persists(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1, momentum=0.9)
+        opt.write_slot(ps[0], "velocity", np.full((3, 3), 2.5))
+        np.testing.assert_allclose(opt.momentum_buffer(ps[0]), 2.5)
+
+    def test_use_slot_state_migrates_values(self, rng):
+        ps = _params(rng)
+        opt = SGD(ps, lr=0.1, momentum=0.9)
+        for p in ps:
+            p.grad[:] = 3.0
+        opt.step()
+        opt.use_slot_state(ResidentSlots())
+        np.testing.assert_allclose(opt.momentum_buffer(ps[0]), 3.0)
+
+
+class TestAdam:
+    def test_first_step_matches_closed_form(self):
+        """With bias correction, step 1 moves by lr * g/(|g| + eps)."""
+        p = Parameter(np.zeros((3,)))
+        opt = Adam([p], lr=0.1, eps=1e-8)
+        p.grad[:] = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+        opt.step()
+        expect = -0.1 * np.sign(p.grad) * (np.abs(p.grad) / (np.abs(p.grad) + 1e-8))
+        np.testing.assert_allclose(p.data, expect, atol=1e-6)
+
+    def test_slots(self, rng):
+        ps = _params(rng)
+        opt = Adam(ps, lr=0.01)
+        assert opt.slot_names == ("exp_avg", "exp_avg_sq")
+        assert opt.momentum_slot == "exp_avg"
+        ps[0].grad[:] = 2.0
+        opt.step()
+        np.testing.assert_allclose(opt.read_slot(ps[0], "exp_avg"), 0.2, atol=1e-6)
+        np.testing.assert_allclose(opt.read_slot(ps[0], "exp_avg_sq"), 0.004, atol=1e-7)
+
+    def test_weight_decay(self):
+        p = Parameter(np.full((2,), 10.0))
+        opt = Adam([p], lr=0.1, weight_decay=0.1)
+        p.grad[:] = 0.0
+        opt.step()
+        assert np.all(p.data < 10.0)  # decay alone shrinks the weights
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Adam(_params(rng), lr=0.0)
+        with pytest.raises(ValueError):
+            Adam(_params(rng), betas=(1.0, 0.999))
+        with pytest.raises(ValueError):
+            Adam(_params(rng), eps=0.0)
+
+    def test_solves_quadratic(self, rng):
+        target = rng.standard_normal((4, 4)).astype(np.float32)
+        p = Parameter(np.zeros((4, 4)))
+        opt = Adam([p], lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            p.grad += 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
 
 
 class TestSchedules:

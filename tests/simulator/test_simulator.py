@@ -1,6 +1,5 @@
 """Performance simulator: cost model, interconnects, throughput shapes."""
 
-import numpy as np
 import pytest
 
 from repro.simulator import (
