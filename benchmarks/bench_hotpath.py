@@ -1,0 +1,220 @@
+"""Steady-state codec hot path: amortized entropy stage, measured.
+
+PR 4's claim is that the compress path that runs every iteration —
+quantize, predict, entropy-code — got structurally cheaper: the
+canonical Huffman codebook is reused across iterations
+(:class:`~repro.compression.szlike.codebook_cache.CodebookCache`), the
+encoder is word-packed and blocked (O(block) scratch instead of an
+8x-payload bit expansion), and the chunked decoder reads codeword
+windows straight out of the packed bytes.  This benchmark records it
+instead of claiming it:
+
+* **legacy** — the pre-PR path, reconstructed from the same public
+  stages: fresh codebook build per step + the ``packer="bitplane"``
+  reference encoder.
+* **cache-off** — the new kernels, fresh codebook per step.
+* **warm cache** — the new kernels with a per-key codebook cache in its
+  steady state (built once, staleness-checked per step).
+
+Steps feed *evolving* activations (base field + small per-step
+perturbation) so the cache's staleness check runs against realistic
+drift, not a frozen tensor.  Peak encode scratch is measured with
+``tracemalloc`` and asserted at <= 2x the packed payload (the legacy
+bit-plane expansion alone is ~8x).
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-scale smoke run (small tensor; the
+>= 1.5x steady-state assertion is skipped — containers are noisy — but
+every number is still emitted to ``BENCH_hotpath.json`` and gated
+against the baseline).
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from _common import QUICK, metric, smooth_activation, write_bench_json, write_report
+from repro.compression import CodebookCache, SZCompressor
+from repro.compression.szlike import build_codebook
+from repro.compression.szlike.huffman import _encode_bitplane, huffman_encode
+from repro.compression.szlike.lorenzo import lorenzo_encode
+from repro.compression.szlike.quantizer import codes_from_residuals, prequantize
+from repro.utils import StageProfiler
+
+#: VGG-16 conv3-class activation (the paper's headline workload)
+SHAPE = (8, 16, 28, 28) if QUICK else (32, 64, 56, 56)
+STEPS = 3 if QUICK else 8
+#: fixed tensor for the scratch-memory measurement: large enough that
+#: the encoder's bounded per-block staging is amortized (quick mode's
+#: tiny tensor would measure the constant, not the behaviour)
+SCRATCH_SHAPE = (16, 32, 56, 56)
+EB = 1e-3
+DICT = 1024
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """Adjacent-iteration activation stream: stable distribution with
+    small per-step drift (the premise cuSZ's amortization rests on)."""
+    rng = np.random.default_rng(4)
+    base = smooth_activation(rng, SHAPE, sigma=1.2, relu=False)
+    steps = []
+    for _ in range(STEPS + 1):  # +1 warm-up step
+        drift = smooth_activation(rng, SHAPE, sigma=1.2, relu=False)
+        steps.append(np.maximum(base + 0.05 * drift, 0).astype(np.float32))
+    return steps
+
+
+def _legacy_compress(x):
+    """The pre-PR compress path, stage for stage: allocating quantize /
+    predict / code stages, a fresh codebook build, and the bit-plane
+    encoder."""
+    q = prequantize(x, EB)
+    delta = lorenzo_encode(q, 2)
+    qr = codes_from_residuals(delta, DICT // 2)
+    cb = build_codebook(qr.codes, DICT)
+    payload, total_bits, chunks = _encode_bitplane(qr.codes.reshape(-1), cb, 4096)
+    return payload
+
+
+def test_hotpath_amortized_compress(stream, benchmark):
+    comp_off = SZCompressor(EB, entropy="huffman")
+    comp_on = SZCompressor(EB, entropy="huffman", codebook_cache=True)
+    profiler = StageProfiler()
+
+    def run():
+        times = {"legacy": 0.0, "cache_off": 0.0, "cache_warm": 0.0, "decode": 0.0}
+        # Warm-up: first step builds the cached book and the scratch pool.
+        _legacy_compress(stream[0])
+        comp_off.compress(stream[0])
+        comp_on.compress(stream[0], cache_key="bench")
+        with profiler:
+            for x in stream[1:]:
+                t0 = time.perf_counter()
+                _legacy_compress(x)
+                t1 = time.perf_counter()
+                comp_off.compress(x)
+                t2 = time.perf_counter()
+                ct = comp_on.compress(x, cache_key="bench")
+                t3 = time.perf_counter()
+                y = comp_on.decompress(ct)
+                t4 = time.perf_counter()
+                times["legacy"] += t1 - t0
+                times["cache_off"] += t2 - t1
+                times["cache_warm"] += t3 - t2
+                times["decode"] += t4 - t3
+                # the bound must hold under the warm (possibly stale) book
+                ulp = float(np.spacing(np.float32(np.abs(x).max())))
+                assert np.abs(x.astype(np.float64) - y).max() <= EB * (1 + 1e-6) + ulp
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    mb = float(np.prod(SHAPE)) * 4 / 1e6 * STEPS
+    speedup_vs_legacy = times["legacy"] / times["cache_warm"]
+    cache_speedup = times["cache_off"] / times["cache_warm"]
+    stats = comp_on.codebook_cache.stats()
+
+    # -- encode scratch: tracemalloc peak beyond the returned payload ----
+    # Measured on a fixed tensor (independent of QUICK) so the encoder's
+    # bounded per-block staging is amortized the way real activations
+    # amortize it; "scratch" = transient allocations beyond the one
+    # unavoidable output byte string.
+    rng = np.random.default_rng(11)
+    xs = smooth_activation(rng, SCRATCH_SHAPE, sigma=1.2, relu=True)
+    q = prequantize(xs, EB)
+    qr = codes_from_residuals(lorenzo_encode(q, 2), DICT // 2)
+    cb = build_codebook(qr.codes, DICT)
+    syms = qr.codes.reshape(-1)
+    huffman_encode(syms, cb)  # warm any lazy setup before measuring
+    tracemalloc.start()
+    payload, _, _ = huffman_encode(syms, cb)
+    _, peak_words = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    _encode_bitplane(syms, cb, 4096)
+    _, peak_bitplane = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    scratch_ratio = (peak_words - len(payload)) / len(payload)
+    legacy_ratio = (peak_bitplane - len(payload)) / len(payload)
+
+    snap = profiler.snapshot()
+    rows = [
+        f"Amortized entropy hot path on {SHAPE} float32 x {STEPS} steps"
+        + (" [QUICK]" if QUICK else ""),
+        f"{'path':12s} {'total':>9s} {'MB/s':>8s}",
+    ]
+    for name in ("legacy", "cache_off", "cache_warm", "decode"):
+        rows.append(f"{name:12s} {times[name]:>8.3f}s {mb / times[name]:>7.1f}")
+    rows += [
+        f"steady-state speedup vs legacy path: {speedup_vs_legacy:.2f}x "
+        f"(acceptance: >= 1.5x)",
+        f"warm cache vs fresh-build (same kernels): {cache_speedup:.2f}x",
+        f"cache: {stats['hits']} hits / {stats['builds']} builds / "
+        f"{stats['rebuilds_delta']}+{stats['rebuilds_refresh']}+{stats['rebuilds_escape']} "
+        f"rebuilds (delta/refresh/escape), {stats['escaped_symbols']} escaped symbols",
+        f"encode scratch peak: {scratch_ratio:.2f}x payload "
+        f"(bit-plane legacy: {legacy_ratio:.2f}x; acceptance: <= 2x)",
+        "profiler stages (steady-state loop):",
+    ]
+    rows += ["  " + line for line in profiler.report_lines()]
+    write_report("hotpath", rows)
+
+    write_bench_json(
+        "hotpath",
+        {
+            # The headline: amortized+packed path vs the seed-era path,
+            # same run, same data.  Dimensionless, so tightly gateable.
+            "steady_speedup_vs_legacy": metric(
+                speedup_vs_legacy, "x", gate=True, tolerance=0.25 if not QUICK else 0.50
+            ),
+            "cache_on_vs_off_speedup": metric(cache_speedup, "x"),
+            "warm_compress_mb_per_s": metric(
+                mb / times["cache_warm"], "MB/s", gate=True,
+                tolerance=0.25 if not QUICK else 0.60,
+            ),
+            "decode_mb_per_s": metric(
+                mb / times["decode"], "MB/s", gate=True,
+                tolerance=0.25 if not QUICK else 0.60,
+            ),
+            # Deterministic allocation behaviour: tight band.
+            "encode_scratch_ratio": metric(
+                scratch_ratio, "x payload", higher_is_better=False, gate=True,
+                tolerance=0.15,
+            ),
+            "legacy_scratch_ratio": metric(
+                legacy_ratio, "x payload", higher_is_better=False
+            ),
+        },
+        context={
+            "shape": list(SHAPE),
+            "steps": STEPS,
+            "cache": stats,
+            "profiler": snap,
+        },
+    )
+
+    # Hard acceptance claims (absolute, not baseline-relative): the
+    # scratch bound is deterministic and holds at any scale; the speedup
+    # is asserted only at full scale where timing noise is small.
+    assert scratch_ratio <= 2.0, f"encode scratch {scratch_ratio:.2f}x payload"
+    assert stats["hits"] >= STEPS - 1  # the cache actually amortized
+    if not QUICK:
+        assert speedup_vs_legacy >= 1.5, (
+            f"steady-state compress only {speedup_vs_legacy:.2f}x faster than legacy"
+        )
+
+
+def test_hotpath_cache_matches_fresh_bits(stream):
+    """Sanity alongside the timing: on a stable stream the warm-cache
+    reconstruction is within the bound AND byte-exact accounting holds
+    (nbytes vs dumps) — the perf knob changes no contracts."""
+    from repro.compression.szlike import dumps
+    from repro.compression.szlike.compressor import HEADER_BYTES
+    from repro.compression.szlike.serialize import wire_header_nbytes
+
+    comp = SZCompressor(EB, entropy="huffman", codebook_cache=CodebookCache())
+    for x in stream[:3]:
+        ct = comp.compress(x, cache_key="bench")
+        blob = dumps(ct)
+        assert ct.nbytes == len(blob) - wire_header_nbytes(blob) + HEADER_BYTES

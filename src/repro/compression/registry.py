@@ -238,7 +238,13 @@ def dumps(ct: Any) -> bytes:
             "axis": ct.axis,
             "chunk_lengths": [len(b) for b in blobs],
         }
-        return _dumps_generic(_CHUNKED_MAGIC, header, blobs)
+        sections = list(blobs)
+        if ct.shared_codebook is not None:
+            # the shared length table is written once, after the chunks
+            lengths = np.asarray(ct.shared_codebook.lengths, dtype=np.uint8)
+            header["shared_codebook_len"] = int(lengths.size)
+            sections.append(lengths.tobytes())
+        return _dumps_generic(_CHUNKED_MAGIC, header, sections)
     raise TypeError(f"don't know how to serialize {type(ct).__name__}")
 
 
@@ -281,6 +287,19 @@ def loads(data: bytes) -> Any:
         for length in header["chunk_lengths"]:
             chunks.append(loads(data[pos : pos + length]))
             pos += length
+        shared = None
+        cb_len = header.get("shared_codebook_len", 0)
+        if cb_len:
+            from repro.compression.szlike import HuffmanCodebook
+
+            lengths = np.frombuffer(data[pos : pos + cb_len], dtype=np.uint8).copy()
+            pos += cb_len
+            shared = HuffmanCodebook.from_lengths(lengths)
+            # re-attach the container-owned book to every chunk that
+            # serialized only a reference
+            for c in chunks:
+                if getattr(c, "codebook_shared", False) and c.codebook is None:
+                    c.codebook = shared
         if pos != len(data):
             raise ValueError("trailing bytes in serialized tensor")
         return ChunkedCompressedTensor(
@@ -288,6 +307,7 @@ def loads(data: bytes) -> Any:
             dtype=header["dtype"],
             axis=header["axis"],
             chunks=chunks,
+            shared_codebook=shared,
         )
     raise ValueError("not a serialized compressed tensor (bad magic)")
 
@@ -316,7 +336,9 @@ CHUNK_HEADER_BYTES = 32
 # callables, so per-chunk work is expressed as (codec, args) tuples
 # rather than the bound-method closures the thread path uses.
 def _chunk_compress(args):
-    codec, part, error_bound = args
+    codec, part, error_bound, codebook = args
+    if codebook is not None:
+        return codec.compress(part, error_bound=error_bound, codebook=codebook)
     return codec.compress(part, error_bound=error_bound)
 
 
@@ -332,12 +354,24 @@ def _chunk_estimate(args):
 
 @dataclass
 class ChunkedCompressedTensor:
-    """Container for per-chunk compressed objects (split along one axis)."""
+    """Container for per-chunk compressed objects (split along one axis).
+
+    When the inner codec is Huffman-based, the chunks share **one**
+    canonical codebook (built or cache-fetched once per compress call
+    instead of once per chunk).  The container owns it: chunks are
+    flagged ``codebook_shared`` so their own ``nbytes``/serialized form
+    carry only a reference, and the container charges/serializes the
+    length table exactly once — "charge on first use, reference
+    thereafter".
+    """
 
     shape: tuple
     dtype: str
     axis: int
     chunks: List[Any] = field(default_factory=list)
+    #: the one codebook the chunks reference (None when each chunk owns
+    #: its own, e.g. non-Huffman inner codecs)
+    shared_codebook: Optional[Any] = None
 
     header_nbytes = CHUNK_HEADER_BYTES
 
@@ -347,12 +381,16 @@ class ChunkedCompressedTensor:
 
     @property
     def nbytes(self) -> int:
-        """Sum of the chunk footprints plus the container header.
+        """Sum of the chunk footprints plus the container header, plus
+        the shared codebook charged exactly once.
 
         Each chunk's own ``nbytes`` already follows the exact-sections
-        convention; the container adds only its fixed header charge.
+        convention (shared-codebook chunks charge only their reference).
         """
-        return sum(c.nbytes for c in self.chunks) + CHUNK_HEADER_BYTES
+        n = sum(c.nbytes for c in self.chunks) + CHUNK_HEADER_BYTES
+        if self.shared_codebook is not None:
+            n += self.shared_codebook.nbytes
+        return n
 
     @property
     def compression_ratio(self) -> float:
@@ -397,9 +435,25 @@ class ChunkedCodec:
     its per-tensor scale, and lossless codecs are exact either way.  A
     relative-mode error bound is resolved **once on the whole tensor** so
     every chunk compresses under the same absolute bound.
+
+    Codebook sharing: when the inner codec supports it (the
+    Huffman-based SZ compressor, ``supports_codebook_sharing``), the
+    first chunk is compressed inline on the calling thread and its
+    canonical codebook — freshly built with the escape marker reserved,
+    or fetched from the inner codec's cross-iteration cache — is
+    injected into the remaining chunks' compress calls.  That removes
+    the per-chunk GIL-bound tree builds (the reason
+    ``executor="process"`` exists) and makes the whole tensor's entropy
+    stage amortizable across training steps via ``cache_key``; chunk
+    symbols the shared book does not cover escape to the outlier
+    channel, so the error bound is unaffected.  Disable with
+    ``share_codebook=False`` to restore per-chunk builds.
     """
 
     name = "chunked"
+    #: compress accepts cache_key= (forwarded to the inner codec's
+    #: cross-iteration codebook cache)
+    supports_cache_key = True
 
     def __init__(
         self,
@@ -408,6 +462,7 @@ class ChunkedCodec:
         workers: int = 4,
         min_chunk_nbytes: int = 1 << 20,
         executor: str = "thread",
+        share_codebook: bool = True,
         **inner_kwargs,
     ):
         if isinstance(inner, str):
@@ -424,6 +479,7 @@ class ChunkedCodec:
         self.workers = int(workers)
         self.min_chunk_nbytes = int(min_chunk_nbytes)
         self.executor = executor
+        self.share_codebook = bool(share_codebook)
         self.error_bounded = bool(getattr(inner, "error_bounded", False))
         self.lossless = bool(getattr(inner, "lossless", False))
         # Persistent pool: compress/decompress sit on the per-layer
@@ -490,19 +546,66 @@ class ChunkedCodec:
             pass
 
     # -- Codec API -------------------------------------------------------
-    def compress(self, x: np.ndarray, error_bound: Optional[float] = None) -> ChunkedCompressedTensor:
+    def compress(
+        self,
+        x: np.ndarray,
+        error_bound: Optional[float] = None,
+        *,
+        cache_key: Optional[Any] = None,
+    ) -> ChunkedCompressedTensor:
         x = np.asarray(x)
         if error_bound is None and hasattr(self.inner, "resolve_error_bound"):
             error_bound = self.inner.resolve_error_bound(x)
         n = self._num_chunks(x)
         parts = np.array_split(x, n, axis=0) if n > 1 else [x]
-        chunks = self._run(
-            _chunk_compress,
-            [(p, error_bound) for p in parts],
-            lambda p, eb: self.inner.compress(p, error_bound=eb),
-        )
+        supports_key = getattr(self.inner, "supports_cache_key", False)
+        shared = None
+        if n > 1 and self.share_codebook and getattr(
+            self.inner, "supports_codebook_sharing", False
+        ):
+            # Compress the first chunk inline — its book (built with the
+            # escape marker reserved, or fetched from the inner codec's
+            # cross-iteration cache) becomes the shared book for the
+            # remaining chunks, which skip their own builds.  Batch-axis
+            # slices of one activation share their code distribution, so
+            # the first chunk is a representative sample; any symbol it
+            # missed escapes through the inner codec's outlier channel.
+            first = self.inner.compress(
+                parts[0], error_bound=error_bound,
+                cache_key=cache_key, reserve_marker=True,
+            )
+            shared = first.codebook  # None for book-less entropy stages
+            rest = self._run(
+                _chunk_compress,
+                [(p, error_bound, shared) for p in parts[1:]],
+                lambda p, eb, cb: self.inner.compress(p, error_bound=eb, codebook=cb)
+                if cb is not None
+                else self.inner.compress(p, error_bound=eb),
+            )
+            chunks = [first] + rest
+        elif n == 1 and cache_key is not None and supports_key:
+            # unsplit tensors still amortize through the inner cache
+            chunks = [self.inner.compress(parts[0], error_bound=error_bound, cache_key=cache_key)]
+        else:
+            chunks = self._run(
+                _chunk_compress,
+                [(p, error_bound, None) for p in parts],
+                lambda p, eb, cb: self.inner.compress(p, error_bound=eb),
+            )
+        container_book = None
+        if shared is not None:
+            # The container owns the shared book; chunks that actually
+            # used it (a chunk falls back to a private build when the
+            # injected book lacks a usable outlier marker) carry only a
+            # reference in their own nbytes/serialized form.
+            for c in chunks:
+                if c.codebook is not None and np.array_equal(c.codebook.lengths, shared.lengths):
+                    c.codebook = shared
+                    c.codebook_shared = True
+                    container_book = shared
         return ChunkedCompressedTensor(
-            shape=x.shape, dtype=str(x.dtype), axis=0, chunks=chunks
+            shape=x.shape, dtype=str(x.dtype), axis=0, chunks=chunks,
+            shared_codebook=container_book,
         )
 
     def decompress(self, ct: ChunkedCompressedTensor) -> np.ndarray:

@@ -1,10 +1,13 @@
 """SZ/cuSZ-style error-bounded lossy compressor (CPU re-implementation)."""
 
 from repro.compression.szlike.compressor import SZCompressor, CompressedTensor
+from repro.compression.szlike.codebook_cache import CodebookCache
 from repro.compression.szlike.huffman import (
     HuffmanCodebook,
     build_codebook,
     entropy_bits,
+    entropy_bits_from_hist,
+    histogram,
     huffman_decode,
     huffman_encode,
 )
@@ -23,9 +26,12 @@ __all__ = [
     "dumps",
     "loads",
     "CompressedTensor",
+    "CodebookCache",
     "HuffmanCodebook",
     "build_codebook",
     "entropy_bits",
+    "entropy_bits_from_hist",
+    "histogram",
     "huffman_decode",
     "huffman_encode",
     "lorenzo_decode",

@@ -1,0 +1,263 @@
+"""Cross-iteration Huffman codebook caching (the amortized entropy stage).
+
+cuSZ (Tian et al. 2020) treats Huffman codebook construction as an
+amortizable *setup* cost: activation code distributions are stable
+across adjacent training iterations, so a codebook built at step *t* is
+near-optimal at step *t+1*.  Our canonical builder is a Python heap loop
+(:func:`~repro.compression.szlike.huffman._huffman_lengths`) — exactly
+the GIL-bound stage the chunked codec's process pool exists for — and
+the dense decode tables are another per-codebook build.  Reusing the
+book across steps removes both from the steady-state path.
+
+:class:`CodebookCache` keeps one canonical codebook per *tensor key*
+(the saved-tensor path passes the layer name, so each conv layer
+amortizes independently).  Every lookup hands in the fresh symbol
+histogram (the single ``bincount`` the compress call already produces)
+and the cache decides, cheaply, whether the cached book is still good:
+
+* **Staleness (δ) check** — the exact cost of coding the new data with
+  the cached book is one dot product, ``hist · lengths`` (unseen
+  symbols priced at the escape cost below).  The best any fresh book
+  could do is bounded below by ``max(shannon_bits(hist), count)``
+  (canonical Huffman spends at least one bit per symbol).  When the
+  cached cost exceeds that floor by more than ``delta``, rebuild.
+* **Refresh interval** — rebuild unconditionally every
+  ``refresh_interval`` uses, a drift backstop independent of δ.
+* **Correctness escape** — symbols with *no codeword* under the cached
+  book cannot be encoded.  The compressor demotes them to the existing
+  outlier channel (marker code 0, residual stored verbatim), so the
+  error bound holds unconditionally; the cache only vets viability
+  (the marker itself must have a codeword, and the escape volume must
+  stay under ``max_escape_ratio``) and otherwise forces a rebuild.
+
+Reuse decisions for a key depend only on that key's own lookup history,
+so per-layer keys keep the async engine bit-identical to the sync
+engine: each layer packs once per iteration, in a deterministic order.
+All state is behind one lock — the chunked codec's thread workers and
+the async engine's pack pool share a single compressor instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.compression.szlike.huffman import HuffmanCodebook, entropy_bits_from_hist
+
+__all__ = ["CodebookCache"]
+
+#: accounting price of one escaped symbol, in bits: the marker codeword
+#: is charged separately via ``lengths[0]``; the escaped residual itself
+#: is stored verbatim as (at least) an int32 outlier
+ESCAPE_BITS = 32
+
+
+class _Entry:
+    __slots__ = ("codebook", "uses_since_build")
+
+    def __init__(self, codebook: HuffmanCodebook):
+        self.codebook = codebook
+        self.uses_since_build = 0
+
+
+class CodebookCache:
+    """Per-key reuse of canonical Huffman codebooks across iterations.
+
+    Parameters
+    ----------
+    refresh_interval:
+        Rebuild a key's codebook after this many reuses regardless of
+        the staleness check (``0`` disables the periodic refresh).
+    delta:
+        Staleness tolerance: rebuild when the cached book's actual
+        bits on the new histogram exceed the fresh-codebook floor
+        ``max(shannon_bits, count)`` by more than this fraction.
+    max_escape_ratio:
+        Ceiling on the fraction of symbols that may be demoted to the
+        outlier channel under a cached book; beyond it a rebuild is
+        cheaper than the escape traffic.
+    max_entries:
+        LRU capacity (one entry per tensor key).
+    """
+
+    def __init__(
+        self,
+        refresh_interval: int = 64,
+        delta: float = 0.10,
+        max_escape_ratio: float = 0.02,
+        max_entries: int = 512,
+    ):
+        if refresh_interval < 0:
+            raise ValueError(f"refresh_interval must be >= 0, got {refresh_interval}")
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if not 0 <= max_escape_ratio <= 1:
+            raise ValueError(f"max_escape_ratio must be in [0, 1], got {max_escape_ratio}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.refresh_interval = int(refresh_interval)
+        self.delta = float(delta)
+        self.max_escape_ratio = float(max_escape_ratio)
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        # -- statistics ----------------------------------------------------
+        self.hits = 0  # lookups served by the cached book
+        self.builds = 0  # first-time builds (cold keys)
+        self.rebuilds_delta = 0  # staleness check tripped
+        self.rebuilds_refresh = 0  # periodic refresh tripped
+        self.rebuilds_escape = 0  # escape path not viable
+        self.escaped_symbols = 0  # symbols demoted under cached books
+        self.evictions = 0
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def reserve_marker(hist: np.ndarray) -> np.ndarray:
+        """Give the outlier marker (symbol 0) a codeword even when the
+        build histogram has no outliers: a cached/shared book must be
+        able to *escape* unseen symbols later, and the marker is the
+        escape hatch.  Costs one pseudo-count (a near-zero bit price)."""
+        if hist[0] == 0:
+            hist = hist.copy()
+            hist[0] = 1
+        return hist
+
+    def _install(self, key: Hashable, book: HuffmanCodebook) -> None:
+        """Store a freshly built book for *key* (callers hold the lock)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = _Entry(book)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        else:
+            entry.codebook = book
+            entry.uses_since_build = 0
+
+    def _stale_reason(self, entry: _Entry, hist: np.ndarray) -> Optional[str]:
+        """Why the cached book must be rebuilt for *hist* (None = fresh
+        enough; escapes, if any, are viable)."""
+        if self.refresh_interval and entry.uses_since_build >= self.refresh_interval:
+            return "refresh"
+        lengths = entry.codebook.lengths
+        if lengths.size < hist.size:
+            return "escape"  # alphabet grew; cached book cannot cover it
+        lengths = lengths[: hist.size].astype(np.int64)
+        covered = lengths > 0
+        escaped = int(hist[~covered].sum())
+        count = int(hist.sum())
+        if escaped:
+            # Demotion is only expressible through the outlier marker, and
+            # only worthwhile in small volume.
+            if lengths[0] == 0 or escaped > self.max_escape_ratio * count:
+                return "escape"
+        actual_bits = float(np.dot(hist[covered].astype(np.float64), lengths[covered]))
+        actual_bits += escaped * (int(lengths[0]) + ESCAPE_BITS)
+        # What would a fresh book cost?  Without building it: Huffman's
+        # redundancy over Shannon is at most p1 + 0.086 bits/symbol
+        # (Gallager 1978, p1 = most-frequent-symbol probability), and
+        # never below 1 bit/symbol.  Using the *upper* bound as the
+        # fresh estimate makes the check reuse-friendly: a book rebuilt
+        # on an identical distribution can never look stale.
+        p1 = float(hist.max()) / count if count else 0.0
+        fresh_est = max(
+            entropy_bits_from_hist(hist) + (p1 + 0.086) * count, float(count)
+        )
+        if actual_bits > (1.0 + self.delta) * fresh_est:
+            return "delta"
+        return None
+
+    # -- API ---------------------------------------------------------------
+    def lookup(self, key: Hashable, hist: np.ndarray) -> Tuple[HuffmanCodebook, bool]:
+        """Return ``(codebook, reused)`` for *key* given the fresh symbol
+        histogram.  ``reused`` is False when the book was (re)built this
+        call — the caller must still demote any uncovered symbols to the
+        outlier channel when ``reused`` is True.
+
+        The expensive tree build runs *outside* the cache lock, so
+        other keys' lookups never stall behind one key's rebuild (the
+        engine's pack workers and the chunked codec's pool share one
+        cache).  A concurrent rebuild of the same key is last-writer-wins
+        — each caller returns the book it built, both valid for their
+        own histograms.
+        """
+        hist = np.asarray(hist)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.builds += 1
+            else:
+                self._entries.move_to_end(key)
+                reason = self._stale_reason(entry, hist)
+                if reason is None:
+                    entry.uses_since_build += 1
+                    self.hits += 1
+                    return entry.codebook, True
+                if reason == "delta":
+                    self.rebuilds_delta += 1
+                elif reason == "refresh":
+                    self.rebuilds_refresh += 1
+                else:
+                    self.rebuilds_escape += 1
+        book = HuffmanCodebook.from_frequencies(self.reserve_marker(hist))
+        with self._lock:
+            self._install(key, book)
+        return book, False
+
+    def note_escapes(self, n: int) -> None:
+        """Record *n* symbols demoted to the outlier channel under a
+        cached book (called by the compressor after demotion)."""
+        with self._lock:
+            self.escaped_symbols += int(n)
+
+    def invalidate(self, key: Hashable = None) -> None:
+        """Forget one key's codebook (or all of them)."""
+        with self._lock:
+            if key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(key, None)
+
+    @property
+    def rebuilds(self) -> int:
+        return self.rebuilds_delta + self.rebuilds_refresh + self.rebuilds_escape
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "builds": self.builds,
+                "rebuilds_delta": self.rebuilds_delta,
+                "rebuilds_refresh": self.rebuilds_refresh,
+                "rebuilds_escape": self.rebuilds_escape,
+                "escaped_symbols": self.escaped_symbols,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"CodebookCache(entries={len(self)}, hits={self.hits}, "
+            f"builds={self.builds}, rebuilds={self.rebuilds})"
+        )
+
+    # Caches don't pickle their contents (the process-pool chunked codec
+    # ships the inner compressor to workers; each worker re-warms its
+    # own): state resets to empty, knobs survive.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_entries"] = OrderedDict()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

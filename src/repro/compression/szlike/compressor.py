@@ -21,32 +21,54 @@ The paper's Section 4.4 modification — a decompression-side filter that
 re-zeroes any reconstructed value with ``|x'| <= eb`` so that
 ReLU-produced zeros are never turned into small non-zero values — is
 implemented via ``zero_filter=True`` (the default, as in the paper).
+
+**Amortized entropy stage.**  cuSZ treats Huffman codebook construction
+as a setup cost amortized across the run, because quantization-code
+distributions are stable between adjacent training iterations (Tian et
+al. 2020, Section 4; the tree build happens once on the host while the
+GPU streams data).  ``codebook_cache=True`` reproduces that economics:
+canonical codebooks are cached per tensor key
+(:class:`~repro.compression.szlike.codebook_cache.CodebookCache`) and
+reused across ``compress`` calls, with a one-``bincount`` staleness
+check (rebuild beyond a ``codebook_delta`` excess over the fresh-book
+floor, or every ``codebook_refresh`` uses) and an unconditional
+correctness escape — symbols with no codeword under a cached book are
+demoted to the outlier channel, so the error bound never depends on
+cache freshness.  The whole hot path is also allocation-lean: the
+quantize/predict/code intermediates live in a reusable
+:class:`~repro.utils.scratch.ScratchPool` and the entropy kernels are
+the word-packed/blocked variants in
+:mod:`~repro.compression.szlike.huffman`.
 """
 
 from __future__ import annotations
 
 import threading
 import zlib
+from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import Optional
+from typing import Hashable, Optional, Union
 
 import numpy as np
 
+from repro.compression.szlike.codebook_cache import CodebookCache
 from repro.compression.szlike.huffman import (
     HuffmanCodebook,
-    build_codebook,
-    entropy_bits,
+    entropy_bits_from_hist,
+    histogram,
     huffman_decode,
     huffman_encode,
 )
 from repro.compression.szlike.lorenzo import lorenzo_decode, lorenzo_encode
 from repro.compression.szlike.quantizer import (
     QuantizedResiduals,
-    codes_from_residuals,
-    prequantize,
+    codes_from_residuals_into,
+    prequantize_into,
     reconstruct,
     residuals_from_codes,
 )
+from repro.utils import profiler
+from repro.utils.scratch import ScratchPool
 
 __all__ = ["SZCompressor", "CompressedTensor", "HEADER_BYTES"]
 
@@ -90,6 +112,11 @@ class CompressedTensor:
     codebook: Optional[HuffmanCodebook] = None
     zero_filter: bool = True
     raw_codes_dtype: str = "uint16"
+    #: True when the codebook is owned elsewhere (a chunked container's
+    #: shared book): ``nbytes`` and ``serialize.dumps`` then charge/emit
+    #: a reference instead of the length table — the owner charges it
+    #: exactly once.
+    codebook_shared: bool = False
 
     @property
     def original_nbytes(self) -> int:
@@ -105,9 +132,12 @@ class CompressedTensor:
 
         Every section is charged at its exact serialized size, so
         ``nbytes == len(serialize.dumps(self)) - wire_header + HEADER_BYTES``.
+        A shared codebook (``codebook_shared``) is charged by its owning
+        container, not here — the serialized chunk likewise carries only
+        a reference.
         """
         n = len(self.payload) + self.outliers.nbytes + HEADER_BYTES
-        if self.codebook is not None:
+        if self.codebook is not None and not self.codebook_shared:
             n += self.codebook.nbytes
         if self.chunk_offsets is not None:
             n += self.chunk_offsets.size * 8  # serialized as int64 bit offsets
@@ -137,12 +167,36 @@ class SZCompressor:
         zstd stage), ``'huffman+zlib'``, or ``'none'``.
     zero_filter:
         Apply the paper's Section 4.4 re-zeroing filter at decompression.
+    codebook_cache:
+        ``False`` (default): build a fresh canonical Huffman codebook
+        per compress call.  ``True`` or a
+        :class:`~repro.compression.szlike.codebook_cache.CodebookCache`
+        instance: amortize codebooks across calls per tensor key (pass
+        ``cache_key=`` to :meth:`compress`; the saved-tensor contexts
+        pass the layer name).  The error bound is unaffected either way
+        — uncovered symbols under a cached book escape to the outlier
+        channel.
+    codebook_refresh:
+        Periodic-rebuild interval for a ``codebook_cache=True`` default
+        cache: a cached book is rebuilt after this many reuses even if
+        the staleness check stays quiet (0 disables).  Ignored when an
+        explicit cache instance is supplied.
+    codebook_delta:
+        Staleness tolerance δ for the default cache: rebuild when the
+        cached book's bits on the fresh histogram exceed
+        ``max(shannon_bits, count)`` by more than this fraction.
+        Ignored when an explicit cache instance is supplied.
     """
 
     #: registry metadata (see :mod:`repro.compression.registry`)
     name = "szlike"
     error_bounded = True
     lossless = False
+    #: the saved-tensor contexts may pass ``cache_key=`` to compress
+    supports_cache_key = True
+    #: compress accepts ``codebook=`` / ``reserve_marker=`` — the chunked
+    #: codec's intra-call codebook sharing protocol
+    supports_codebook_sharing = True
 
     def __init__(
         self,
@@ -155,6 +209,9 @@ class SZCompressor:
         zero_filter: bool = True,
         zlib_level: int = 1,
         emulate_zero_drift: bool = False,
+        codebook_cache: Union[bool, CodebookCache] = False,
+        codebook_refresh: int = 64,
+        codebook_delta: float = 0.10,
         rng=None,
     ):
         if mode not in ("abs", "rel"):
@@ -173,6 +230,14 @@ class SZCompressor:
         self.entropy = entropy
         self.zero_filter = bool(zero_filter)
         self.zlib_level = int(zlib_level)
+        if isinstance(codebook_cache, CodebookCache):
+            self.codebook_cache: Optional[CodebookCache] = codebook_cache
+        elif codebook_cache:
+            self.codebook_cache = CodebookCache(
+                refresh_interval=codebook_refresh, delta=codebook_delta
+            )
+        else:
+            self.codebook_cache = None
         # Unmodified cuSZ reconstructs runs of zeros as small values within
         # the error bound (the pathology motivating the Section 4.4 filter).
         # Our integer pipeline reconstructs zeros exactly, so the pathology
@@ -187,17 +252,24 @@ class SZCompressor:
         # numpy Generators are not thread-safe; decompress may run
         # concurrently per chunk under a ChunkedCodec wrapper.
         self._rng_lock = threading.Lock()
+        #: reusable scratch buffers for the quantize/predict/code
+        #: intermediates (thread-safe; shared by ChunkedCodec workers)
+        self._scratch = ScratchPool()
 
-    # Locks don't pickle; ChunkedCodec(executor="process") ships the
-    # inner codec to pool workers, so drop the lock and rebuild it.
+    # Locks and scratch buffers don't pickle; ChunkedCodec(executor=
+    # "process") ships the inner codec to pool workers, so drop them and
+    # rebuild.  A cached codebook state resets too (CodebookCache's own
+    # __getstate__) — workers re-warm independently.
     def __getstate__(self):
         state = self.__dict__.copy()
         del state["_rng_lock"]
+        del state["_scratch"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._rng_lock = threading.Lock()
+        self._scratch = ScratchPool()
 
     # -- helpers ---------------------------------------------------------
     def resolve_error_bound(self, x: np.ndarray) -> float:
@@ -215,9 +287,121 @@ class SZCompressor:
     def _effective_ndim(self, x: np.ndarray) -> int:
         return max(1, min(self.lorenzo_ndim, x.ndim))
 
+    def _quantized_codes(self, x: np.ndarray, eb: float, stack: ExitStack):
+        """Run quantize -> predict -> codes over pooled scratch buffers.
+
+        Returns ``(qr, flat_delta)``; both reference pooled memory owned
+        by *stack*, so they are valid only until the stack closes.
+        """
+        ndim = self._effective_ndim(x)
+        take = self._scratch.take
+        with profiler.stage("quantize"):
+            work = stack.enter_context(take(x.shape, np.float64))
+            qa = stack.enter_context(take(x.shape, np.int64))
+            prequantize_into(x, eb, out=qa, work=work)
+        with profiler.stage("predict"):
+            qb = stack.enter_context(take(x.shape, np.int64))
+            # Ping-pong between the two int64 buffers; qa's contents are
+            # disposable once the first difference lands in qb.
+            delta = lorenzo_encode(qa, ndim, out=qb, work=qa)
+            flat = delta.reshape(-1)
+            other = (qa if delta is qb else qb).reshape(-1)
+            mask = stack.enter_context(take(flat.shape, bool))
+            work_mask = stack.enter_context(take(flat.shape, bool))
+            dtype = np.uint16 if 2 * self.radius <= np.iinfo(np.uint16).max else np.uint32
+            codes = stack.enter_context(take(flat.shape, dtype))
+            qr = codes_from_residuals_into(
+                delta, self.radius, shifted=other, mask=mask, work_mask=work_mask, codes=codes
+            )
+        return qr, flat
+
+    def _resolve_codebook(
+        self,
+        hist: np.ndarray,
+        cache_key: Optional[Hashable],
+        x_shape: tuple,
+        x_dtype,
+        reserve_marker: bool = False,
+    ):
+        """Fresh build, cache lookup, or escape-vetted reuse.
+
+        Returns ``(codebook, reused)``; ``reused`` means symbols may lack
+        codewords and the caller must demote them.  *reserve_marker*
+        keeps the outlier-marker codeword in a cache-less fresh build (a
+        book destined for sharing needs its escape hatch; cache builds
+        always reserve it).
+        """
+        cache = self.codebook_cache
+        if cache is None:
+            if reserve_marker:
+                hist = CodebookCache.reserve_marker(hist)
+            return HuffmanCodebook.from_frequencies(hist), False
+        key = cache_key if cache_key is not None else ("__auto__", x_shape, str(x_dtype))
+        return cache.lookup(key, hist)
+
+    @staticmethod
+    def _demote_uncovered(
+        codes: np.ndarray,
+        flat_delta: np.ndarray,
+        hist: np.ndarray,
+        codebook: HuffmanCodebook,
+    ):
+        """Escape symbols without codewords to the outlier channel.
+
+        The histogram answers "is anything uncovered?" in O(alphabet) —
+        the common warm-cache case pays no per-element work here.  When
+        demotion is needed, *codes* is mutated in place (uncovered
+        positions become the marker code 0) and the merged
+        positional-order outlier array is returned; otherwise ``None``.
+        Requires the marker symbol itself to be covered — the
+        cache/viability checks guarantee that before reuse is allowed.
+        """
+        lengths = codebook.lengths
+        if lengths.size >= hist.size:
+            bad_syms = (hist > 0) & (lengths[: hist.size] == 0)
+            n_escape = int(hist[bad_syms].sum())
+        else:
+            bad_syms = (hist[: lengths.size] > 0) & (lengths == 0)
+            n_escape = int(hist[: lengths.size][bad_syms].sum() + hist[lengths.size :].sum())
+        if n_escape == 0:
+            return None, 0
+        if lengths[0] == 0:
+            raise ValueError(
+                "codebook lacks the outlier marker codeword; cannot demote "
+                "uncovered symbols (rebuild the codebook instead)"
+            )
+        if lengths.size >= hist.size:
+            uncovered = lengths[codes] == 0
+        else:  # defensive: injected book over a smaller alphabet
+            clipped = np.minimum(codes, lengths.size - 1)
+            uncovered = (codes >= lengths.size) | (lengths[clipped] == 0)
+        codes[uncovered] = 0
+        # Recompute the outlier stream in positional order: existing
+        # markers and the freshly demoted positions interleave exactly as
+        # residuals_from_codes will consume them.
+        outliers = flat_delta[codes.reshape(-1) == 0].astype(np.int64)
+        return outliers, n_escape
+
     # -- API -------------------------------------------------------------
-    def compress(self, x: np.ndarray, error_bound: Optional[float] = None) -> CompressedTensor:
-        """Compress *x* under the (per-call overridable) error bound."""
+    def compress(
+        self,
+        x: np.ndarray,
+        error_bound: Optional[float] = None,
+        *,
+        cache_key: Optional[Hashable] = None,
+        codebook: Optional[HuffmanCodebook] = None,
+        reserve_marker: bool = False,
+    ) -> CompressedTensor:
+        """Compress *x* under the (per-call overridable) error bound.
+
+        ``cache_key`` names the tensor stream for cross-iteration
+        codebook amortization (only meaningful with ``codebook_cache``);
+        ``codebook`` injects an externally owned book (the chunked
+        codec's intra-call sharing) and ``reserve_marker`` keeps the
+        escape-marker codeword in a freshly built book so it *can* be
+        shared — uncovered symbols escape to the outlier channel either
+        way, so the error bound is unconditional.
+        """
         x = np.asarray(x)
         if not np.issubdtype(x.dtype, np.floating):
             raise TypeError(f"SZCompressor expects floating-point input, got {x.dtype}")
@@ -230,22 +414,50 @@ class SZCompressor:
             raise ValueError(f"resolved error bound must be positive, got {eb}")
         ndim = self._effective_ndim(x)
 
-        q = prequantize(x, eb)
-        delta = lorenzo_encode(q, ndim)
-        qr = codes_from_residuals(delta, self.radius)
-
-        codebook = None
-        total_bits = 0
-        chunk_offsets = None
-        if self.entropy in ("huffman", "huffman+zlib"):
-            codebook = build_codebook(qr.codes, self.dict_size)
-            payload, total_bits, chunk_offsets = huffman_encode(qr.codes, codebook)
-            if self.entropy == "huffman+zlib":
-                payload = zlib.compress(payload, self.zlib_level)
-        elif self.entropy == "zlib":
-            payload = zlib.compress(qr.codes.tobytes(), self.zlib_level)
-        else:  # 'none'
-            payload = qr.codes.tobytes()
+        with ExitStack() as stack:
+            qr, flat_delta = self._quantized_codes(x, eb, stack)
+            out_codebook = None
+            total_bits = 0
+            chunk_offsets = None
+            outliers = qr.outliers
+            count = int(qr.codes.size)
+            raw_codes_dtype = str(qr.codes.dtype)
+            if self.entropy in ("huffman", "huffman+zlib"):
+                with profiler.stage("encode"):
+                    # One histogram feeds the codebook build/cache check;
+                    # estimate_compressed_nbytes shares the same helper.
+                    hist = histogram(qr.codes, self.dict_size)
+                    if codebook is not None:
+                        out_codebook, reused = codebook, True
+                    else:
+                        out_codebook, reused = self._resolve_codebook(
+                            hist, cache_key, x.shape, x.dtype, reserve_marker
+                        )
+                    if reused:
+                        try:
+                            escaped, n_escape = self._demote_uncovered(
+                                qr.codes, flat_delta, hist, out_codebook
+                            )
+                        except ValueError:
+                            # Injected book without a usable marker: fall
+                            # back to a fresh local build (correctness
+                            # first; the container will not mark this
+                            # chunk as shared).
+                            out_codebook = HuffmanCodebook.from_frequencies(hist)
+                            escaped, n_escape = None, 0
+                        if escaped is not None:
+                            outliers = escaped
+                            if self.codebook_cache is not None and codebook is None:
+                                self.codebook_cache.note_escapes(n_escape)
+                    payload, total_bits, chunk_offsets = huffman_encode(qr.codes, out_codebook)
+                    if self.entropy == "huffman+zlib":
+                        payload = zlib.compress(payload, self.zlib_level)
+            elif self.entropy == "zlib":
+                with profiler.stage("encode"):
+                    payload = zlib.compress(qr.codes.tobytes(), self.zlib_level)
+            else:  # 'none'
+                payload = qr.codes.tobytes()
+            packed_outliers = _pack_outliers(outliers)
 
         return CompressedTensor(
             shape=x.shape,
@@ -256,37 +468,71 @@ class SZCompressor:
             entropy=self.entropy,
             payload=payload,
             total_bits=total_bits,
-            count=int(qr.codes.size),
-            outliers=_pack_outliers(qr.outliers),
+            count=count,
+            outliers=packed_outliers,
             chunk_offsets=chunk_offsets,
-            codebook=codebook,
+            codebook=out_codebook,
             zero_filter=self.zero_filter,
-            raw_codes_dtype=str(qr.codes.dtype),
+            raw_codes_dtype=raw_codes_dtype,
         )
+
+    def codebook_for(
+        self,
+        x: np.ndarray,
+        error_bound: Optional[float] = None,
+        cache_key: Optional[Hashable] = None,
+    ) -> HuffmanCodebook:
+        """The canonical codebook :meth:`compress` would use for *x*.
+
+        A utility for wrappers that inject a book into several compress
+        calls via ``codebook=`` (the chunked codec itself avoids the
+        extra pipeline pass by compressing its first chunk with
+        ``reserve_marker=True`` and sharing that chunk's book).  Goes
+        through the same cache/staleness machinery as :meth:`compress`;
+        a fresh build keeps the escape-marker codeword so uncovered
+        symbols in other tensors can demote through it.
+        """
+        if self.entropy not in ("huffman", "huffman+zlib"):
+            raise ValueError(f"entropy stage {self.entropy!r} has no codebook")
+        x = np.asarray(x)
+        eb = float(error_bound) if error_bound is not None else self.resolve_error_bound(x)
+        with ExitStack() as stack:
+            qr, _ = self._quantized_codes(x, eb, stack)
+            hist = histogram(qr.codes, self.dict_size)
+            book, _ = self._resolve_codebook(
+                hist, cache_key, x.shape, x.dtype, reserve_marker=True
+            )
+        return book
 
     def decompress(self, ct: CompressedTensor) -> np.ndarray:
         """Reconstruct the tensor; max abs error is ``ct.error_bound``."""
-        if ct.entropy in ("huffman", "huffman+zlib"):
-            payload = ct.payload
-            if ct.entropy == "huffman+zlib":
-                payload = zlib.decompress(payload)
-            codes = huffman_decode(
-                payload, ct.total_bits, ct.count, ct.codebook, chunk_offsets=ct.chunk_offsets
-            )
-        elif ct.entropy == "zlib":
-            codes = np.frombuffer(zlib.decompress(ct.payload), dtype=ct.raw_codes_dtype)
-        else:
-            codes = np.frombuffer(ct.payload, dtype=ct.raw_codes_dtype)
+        with profiler.stage("decode"):
+            if ct.entropy in ("huffman", "huffman+zlib"):
+                if ct.codebook is None:
+                    raise ValueError(
+                        "compressed tensor references a shared codebook that is "
+                        "not attached; decompress it through its chunked container"
+                    )
+                payload = ct.payload
+                if ct.entropy == "huffman+zlib":
+                    payload = zlib.decompress(payload)
+                codes = huffman_decode(
+                    payload, ct.total_bits, ct.count, ct.codebook, chunk_offsets=ct.chunk_offsets
+                )
+            elif ct.entropy == "zlib":
+                codes = np.frombuffer(zlib.decompress(ct.payload), dtype=ct.raw_codes_dtype)
+            else:
+                codes = np.frombuffer(ct.payload, dtype=ct.raw_codes_dtype)
 
-        qr = QuantizedResiduals(
-            codes=codes.astype(np.uint32),
-            outliers=ct.outliers.astype(np.int64),
-            radius=ct.radius,
-            shape=ct.shape,
-        )
-        delta = residuals_from_codes(qr)
-        q = lorenzo_decode(delta, ct.lorenzo_ndim)
-        x = reconstruct(q, ct.error_bound, dtype=np.dtype(ct.dtype))
+            qr = QuantizedResiduals(
+                codes=codes.astype(np.uint32),
+                outliers=ct.outliers.astype(np.int64),
+                radius=ct.radius,
+                shape=ct.shape,
+            )
+            delta = residuals_from_codes(qr)
+            q = lorenzo_decode(delta, ct.lorenzo_ndim)
+            x = reconstruct(q, ct.error_bound, dtype=np.dtype(ct.dtype))
         if self.emulate_zero_drift:
             zeros = q == 0
             n_zero = int(zeros.sum())
@@ -312,21 +558,23 @@ class SZCompressor:
         ``CompressedTensor.nbytes`` does: outliers at their packed
         itemsize, plus the codebook and chunk-offset metadata the Huffman
         stages serialize — only the payload itself is estimated (at its
-        Shannon lower bound).
+        Shannon lower bound).  Shares one histogram between the entropy
+        estimate and the code statistics, and runs over the same pooled
+        scratch as :meth:`compress`.
         """
         from repro.compression.szlike.huffman import DEFAULT_CHUNK
 
         x = np.asarray(x)
         eb = float(error_bound) if error_bound is not None else self.resolve_error_bound(x)
-        q = prequantize(x, eb)
-        delta = lorenzo_encode(q, self._effective_ndim(x))
-        qr = codes_from_residuals(delta, self.radius)
-        bits = entropy_bits(qr.codes, self.dict_size)
-        est = bits / 8.0 + _pack_outliers(qr.outliers).nbytes + HEADER_BYTES
-        if self.entropy in ("huffman", "huffman+zlib"):
-            # one length byte per alphabet symbol + int64 chunk offsets
-            est += self.dict_size
-            est += 8 * (-(-qr.codes.size // DEFAULT_CHUNK))
+        with ExitStack() as stack:
+            qr, _ = self._quantized_codes(x, eb, stack)
+            hist = histogram(qr.codes, self.dict_size)
+            bits = entropy_bits_from_hist(hist)
+            est = bits / 8.0 + _pack_outliers(qr.outliers).nbytes + HEADER_BYTES
+            if self.entropy in ("huffman", "huffman+zlib"):
+                # one length byte per alphabet symbol + int64 chunk offsets
+                est += self.dict_size
+                est += 8 * (-(-qr.codes.size // DEFAULT_CHUNK))
         return est
 
     # Registry-facing alias (the unified Codec API name).

@@ -1,20 +1,33 @@
 """Canonical, length-limited Huffman codec, fully vectorized.
 
 cuSZ's entropy stage is a customized Huffman coder over the quantization
-codes.  We reproduce it with two HPC-flavoured twists so that neither
+codes.  We reproduce it with HPC-flavoured twists so that neither
 direction needs a Python-level per-symbol loop:
 
-* **Encode** places all bits for bit-plane ``k`` of every codeword in one
-  vectorized scatter, looping only over the (<= 16) codeword bit planes.
+* **Encode** is *word-packed and blocked*: symbols are processed in
+  fixed-size blocks; within a block every codeword (<= 16 bits, so it
+  spans at most two adjacent 16-bit output words) is shifted to its
+  absolute bit position and the per-word contributions are merged with
+  one ``bincount`` — disjoint bits make integer addition equal to
+  bitwise OR.  Peak scratch is one output-sized word array plus O(block)
+  temporaries, versus the 8x-payload bit-expansion the previous
+  bit-plane encoder materialized (kept as ``packer="bitplane"``, the
+  reference implementation the packed path is property-tested against).
 
-* **Decode** is sequential in nature (each codeword's start depends on the
-  previous lengths), which is the same obstacle cuSZ's GPU decoder faces.
-  Two data-parallel decoders are provided:
+* **Decode** is sequential in nature (each codeword's start depends on
+  the previous lengths), which is the same obstacle cuSZ's GPU decoder
+  faces.  Two data-parallel decoders are provided:
 
   - *chunked* (default, and what cuSZ itself does): the encoder records
     the bit offset of every fixed-size symbol chunk; chunks decode
     independently, and the decoder iterates over symbol slots while
-    processing **all chunks simultaneously** with vectorized gathers.
+    processing **all chunks simultaneously**.  Each step reads the
+    current codeword's L-bit window directly out of the packed payload
+    (three byte gathers + shifts), so no bit-expanded or per-offset
+    prefix array is ever materialized — scratch is O(#chunks) per step
+    plus the dense decode table, which is **cached on the codebook**
+    (one table build per codebook lifetime, amortized by the
+    cross-iteration :class:`~repro.compression.szlike.codebook_cache.CodebookCache`).
   - *pointer jumping*: offset-metadata-free fallback that decodes
     speculatively at every bit offset via a dense ``2^L`` prefix table
     and recovers the true codeword chain with recursive doubling —
@@ -22,12 +35,18 @@ direction needs a Python-level per-symbol loop:
 
 Code lengths are limited to :data:`MAX_CODE_LENGTH` bits by frequency
 flattening, keeping the prefix table at 64Ki entries.
+
+The symbol histogram is a first-class input: :func:`histogram`,
+:meth:`HuffmanCodebook.from_frequencies`, and :func:`entropy_bits_from_hist`
+let one ``bincount`` feed the codebook build, the entropy estimate, and
+the codebook cache's staleness check instead of each running its own.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -35,9 +54,11 @@ __all__ = [
     "MAX_CODE_LENGTH",
     "HuffmanCodebook",
     "build_codebook",
+    "histogram",
     "huffman_encode",
     "huffman_decode",
     "entropy_bits",
+    "entropy_bits_from_hist",
 ]
 
 MAX_CODE_LENGTH = 16
@@ -54,7 +75,8 @@ def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
         return lengths
     # Standard heap construction; nodes carry their leaf sets so depths can
     # be assigned when the tree is complete.  Alphabet size is small (<= 64Ki
-    # in practice ~1Ki), so this Python loop is not a hot path.
+    # in practice ~1Ki) and the CodebookCache amortizes rebuilds across
+    # iterations, so this Python loop stays off the steady-state hot path.
     heap = [(int(freqs[s]), int(s), [int(s)]) for s in present]
     heapq.heapify(heap)
     counter = int(freqs.size)
@@ -105,6 +127,10 @@ class HuffmanCodebook:
 
     lengths: np.ndarray  # uint8, one entry per alphabet symbol
     codes: np.ndarray  # uint32 canonical codewords
+    #: lazily built dense decode tables (``(tsym, tlen)`` over all 2^L
+    #: prefixes) — cached here so a codebook reused across iterations (or
+    #: shared across chunks) pays the table-build loop exactly once
+    _tables: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_frequencies(cls, freqs: np.ndarray, max_length: int = MAX_CODE_LENGTH) -> "HuffmanCodebook":
@@ -136,27 +162,63 @@ class HuffmanCodebook:
         nz = self.lengths[self.lengths > 0].astype(np.float64)
         return float(np.sum(2.0 ** -nz))
 
+    def decode_tables(self) -> tuple:
+        """Dense decode tables ``(tsym uint32, tlen int64)`` over all
+        ``2^L`` L-bit prefixes, built once and cached on the codebook."""
+        if self._tables is None:
+            L = self.max_length
+            if L == 0:
+                raise ValueError("codebook is empty")
+            tsym = np.zeros(1 << L, dtype=np.uint32)
+            tlen = np.ones(1 << L, dtype=np.int64)
+            for s in np.nonzero(self.lengths)[0]:
+                l = int(self.lengths[s])
+                c = int(self.codes[s])
+                tsym[c << (L - l) : (c + 1) << (L - l)] = s
+                tlen[c << (L - l) : (c + 1) << (L - l)] = l
+            self._tables = (tsym, tlen)
+        return self._tables
+
+    # The cached tables are derived state: drop them when pickling (the
+    # process-pool chunked codec ships codebooks to workers) so the wire
+    # cost stays one length byte per symbol.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_tables"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+def histogram(symbols: np.ndarray, alphabet_size: int) -> np.ndarray:
+    """Symbol frequency histogram (the one ``bincount`` the codebook
+    build, the entropy estimate, and the cache staleness check share)."""
+    return np.bincount(symbols.reshape(-1), minlength=alphabet_size)
+
 
 def build_codebook(symbols: np.ndarray, alphabet_size: int) -> HuffmanCodebook:
     """Build a codebook from observed symbol data."""
-    freqs = np.bincount(symbols.reshape(-1), minlength=alphabet_size)
-    return HuffmanCodebook.from_frequencies(freqs)
+    return HuffmanCodebook.from_frequencies(histogram(symbols, alphabet_size))
 
 
 DEFAULT_CHUNK = 4096
 
+#: symbols per encode block (a multiple of DEFAULT_CHUNK so chunk-offset
+#: sampling never straddles a block boundary); bounds the encoder's
+#: per-block temporaries (~50 bytes/symbol of int64 staging) regardless
+#: of tensor size
+ENCODE_BLOCK = 1 << 14
 
-def huffman_encode(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: int = DEFAULT_CHUNK):
-    """Encode *symbols* -> ``(payload bytes, total_bits, chunk_offsets)``.
 
-    Vectorized bit-plane placement: one boolean scatter per codeword bit.
-    ``chunk_offsets`` records the starting bit of every *chunk_size*-symbol
-    chunk (cuSZ's coarse-grained decode metadata); pass ``chunk_size=0``
-    to skip it.
+def _encode_bitplane(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: int):
+    """Reference encoder: one boolean scatter per codeword bit plane.
+
+    Materializes a ``total_bits``-long uint8 array (8x the packed
+    payload); kept as the property-test oracle for the word-packed path
+    and as the ``packer="bitplane"`` legacy baseline benchmarks measure
+    against.
     """
-    symbols = symbols.reshape(-1)
-    if symbols.size == 0:
-        return b"", 0, np.zeros(0, dtype=np.int64)
     lens = codebook.lengths[symbols].astype(np.int64)
     if np.any(lens == 0):
         bad = int(symbols[lens == 0][0])
@@ -175,8 +237,110 @@ def huffman_encode(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: i
     return np.packbits(bits).tobytes(), total_bits, chunk_offsets
 
 
+def _encode_words(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: int):
+    """Word-packed blocked encoder (the low-allocation hot path).
+
+    Every codeword is <= :data:`MAX_CODE_LENGTH` = 16 bits, so it spans
+    at most two adjacent big-endian 16-bit output words.  Per block:
+    shift each codeword into a 32-bit window at its absolute bit
+    position, split into (high word, low word) halves, and merge all
+    contributions per word with ``bincount`` — codewords occupy disjoint
+    bits, so integer addition *is* bitwise OR (and the float64 weight
+    sums stay exact: each word's total is < 2^16).
+
+    Two passes over the symbol stream (a cheap per-block length sum
+    sizes the output exactly), O(block) temporaries, and one
+    output-sized uint16 word array: peak scratch is ~1x the packed
+    payload plus a constant, versus the bit-plane encoder's 8x.
+    """
+    lengths = codebook.lengths
+    codes64 = codebook.codes.astype(np.int64)
+    n = symbols.size
+    block = ENCODE_BLOCK if not chunk_size else max(
+        chunk_size, (ENCODE_BLOCK // chunk_size) * chunk_size
+    )
+
+    # Pass 1: per-block bit totals -> exact output size, no O(n) scratch.
+    total_bits = 0
+    for a in range(0, n, block):
+        lens = lengths[symbols[a : a + block]]
+        if not lens.all():
+            sl = symbols[a : a + block]
+            bad = int(sl[lens == 0][0])
+            raise ValueError(f"symbol {bad} has no codeword in this codebook")
+        total_bits += int(lens.sum(dtype=np.int64))
+
+    n_words = (total_bits + 15) >> 4
+    # The word array doubles as the output byte buffer: a uint8 array
+    # viewed as big-endian uint16 for the merge writes, sliced to the
+    # exact payload length at the end — no byteswap copy, no trim copy.
+    out8 = np.zeros(2 * (n_words + 1), dtype=np.uint8)  # +1 word: lo spill
+    words = out8.view(">u2")
+    chunk_parts = []
+    base_bits = 0
+    for a in range(0, n, block):
+        s = symbols[a : a + block]
+        lens = lengths[s].astype(np.int64)
+        off = np.empty(s.size, dtype=np.int64)
+        off[0] = base_bits
+        np.cumsum(lens[:-1], out=off[1:])
+        off[1:] += base_bits
+        block_bits = int(off[-1] - base_bits + lens[-1])
+        if chunk_size:
+            # block is a multiple of chunk_size, so every chunk start
+            # falls on a block-local index multiple of chunk_size
+            chunk_parts.append(off[::chunk_size].copy())
+        w = off >> 4
+        w0 = int(w[0])
+        # 32-bit window: bit r = off & 15 within word w, so the codeword
+        # sits at shift (32 - r - len); top half lands in word w, bottom
+        # half in word w + 1.
+        val32 = codes64[s] << (32 - (off & 15) - lens)
+        w -= w0
+        n_local = int(w[-1]) + 2
+        acc = np.bincount(w, weights=val32 >> 16, minlength=n_local)
+        lo = np.bincount(w, weights=val32 & 0xFFFF, minlength=n_local)
+        acc[1:] += lo[:-1]
+        words[w0 : w0 + n_local] |= acc.astype(">u2")
+        base_bits += block_bits
+
+    payload = out8[: (total_bits + 7) >> 3].tobytes()
+    if chunk_parts:
+        chunk_offsets = np.concatenate(chunk_parts) if len(chunk_parts) > 1 else chunk_parts[0]
+    else:
+        chunk_offsets = np.zeros(0, dtype=np.int64)
+    return payload, total_bits, chunk_offsets
+
+
+def huffman_encode(
+    symbols: np.ndarray,
+    codebook: HuffmanCodebook,
+    chunk_size: int = DEFAULT_CHUNK,
+    packer: str = "words",
+):
+    """Encode *symbols* -> ``(payload bytes, total_bits, chunk_offsets)``.
+
+    ``chunk_offsets`` records the starting bit of every *chunk_size*-symbol
+    chunk (cuSZ's coarse-grained decode metadata); pass ``chunk_size=0``
+    to skip it.  ``packer`` selects the kernel: ``"words"`` (default,
+    blocked word-packing with O(block) scratch) or ``"bitplane"`` (the
+    legacy 8x-payload bit-expansion, kept as the reference oracle).
+    Both produce identical bytes.
+    """
+    symbols = symbols.reshape(-1)
+    if symbols.size == 0:
+        return b"", 0, np.zeros(0, dtype=np.int64)
+    if packer == "words":
+        return _encode_words(symbols, codebook, chunk_size)
+    if packer == "bitplane":
+        return _encode_bitplane(symbols, codebook, chunk_size)
+    raise ValueError(f"packer must be 'words' or 'bitplane', got {packer!r}")
+
+
 def _prefix_and_tables(payload: bytes, total_bits: int, codebook: HuffmanCodebook):
-    """Shared decode setup: per-offset L-bit prefixes and dense tables."""
+    """Pointer-jumping decode setup: per-offset L-bit prefixes and the
+    dense tables (only the offset-metadata-free fallback needs the full
+    prefix array; the chunked decoder reads windows directly)."""
     L = codebook.max_length
     if L == 0:
         raise ValueError("codebook is empty")
@@ -191,15 +355,57 @@ def _prefix_and_tables(payload: bytes, total_bits: int, codebook: HuffmanCodeboo
     for j in range(L):
         prefix[:total_bits] = (prefix[:total_bits] << 1) | padded[j : j + total_bits]
 
-    # Dense decode table over all 2^L prefixes.
-    tsym = np.zeros(1 << L, dtype=np.uint32)
-    tlen = np.ones(1 << L, dtype=np.uint8)
-    for s in np.nonzero(codebook.lengths)[0]:
-        l = int(codebook.lengths[s])
-        c = int(codebook.codes[s])
-        tsym[c << (L - l) : (c + 1) << (L - l)] = s
-        tlen[c << (L - l) : (c + 1) << (L - l)] = l
+    tsym, tlen = codebook.decode_tables()
     return prefix, tsym, tlen
+
+
+def _decode_chunked(
+    payload: bytes,
+    total_bits: int,
+    count: int,
+    codebook: HuffmanCodebook,
+    chunk_offsets: np.ndarray,
+    chunk_size: int,
+) -> np.ndarray:
+    """Data-parallel chunked decode reading L-bit windows in place.
+
+    All chunks advance one symbol per vectorized step; the current
+    codeword's window is gathered directly from the packed payload
+    (three bytes cover any 16-bit codeword at any bit phase), so the
+    only allocations are the padded payload copy, the output array, and
+    O(#chunks) per-step temporaries — no 8x bit expansion, no 32x
+    per-offset prefix array.
+    """
+    L = codebook.max_length
+    if L == 0:
+        raise ValueError("codebook is empty")
+    if 8 * len(payload) < total_bits:
+        raise ValueError(f"payload holds {8 * len(payload)} bits, expected {total_bits}")
+    tsym, tlen = codebook.decode_tables()
+    n_chunks = chunk_offsets.size
+    if n_chunks != -(-count // chunk_size):
+        raise ValueError("chunk metadata inconsistent with symbol count")
+    # 4 guard bytes: a clamped position may gather up to 3 bytes past the
+    # last payload bit's byte.
+    buf = np.frombuffer(payload + b"\x00\x00\x00\x00", dtype=np.uint8)
+    out = np.empty(n_chunks * chunk_size, dtype=np.uint32)
+    pos = chunk_offsets.astype(np.int64).copy()
+    if pos.size and (int(pos.min()) < 0 or int(pos.max()) >= max(total_bits, 1)):
+        raise ValueError("chunk offsets out of range")
+    slot = np.arange(n_chunks, dtype=np.int64) * chunk_size
+    mask = (1 << L) - 1
+    for i in range(chunk_size):
+        byte = pos >> 3
+        window = (
+            (buf[byte].astype(np.int64) << 16)
+            | (buf[byte + 1].astype(np.int64) << 8)
+            | buf[byte + 2]
+        )
+        p = (window >> (24 - (pos & 7) - L)) & mask
+        out[slot + i] = tsym[p]
+        pos += tlen[p]
+        np.minimum(pos, total_bits, out=pos)
+    return out[:count]
 
 
 def huffman_decode(
@@ -213,26 +419,17 @@ def huffman_decode(
     """Decode *count* symbols from *payload*.
 
     With ``chunk_offsets`` the chunked data-parallel decoder runs (all
-    chunks advance one symbol per vectorized step); without it the
-    pointer-jumping decoder reconstructs the codeword chain from scratch.
+    chunks advance one symbol per vectorized step, windows gathered
+    straight from the packed bytes); without it the pointer-jumping
+    decoder reconstructs the codeword chain from scratch.
     """
     if count == 0:
         return np.zeros(0, dtype=np.uint32)
-    prefix, tsym, tlen = _prefix_and_tables(payload, total_bits, codebook)
 
     if chunk_offsets is not None and chunk_offsets.size:
-        n_chunks = chunk_offsets.size
-        if n_chunks != -(-count // chunk_size):
-            raise ValueError("chunk metadata inconsistent with symbol count")
-        out = np.empty(n_chunks * chunk_size, dtype=np.uint32)
-        pos = chunk_offsets.astype(np.int64).copy()
-        slot = np.arange(n_chunks, dtype=np.int64) * chunk_size
-        for i in range(chunk_size):
-            p = prefix[pos]
-            out[slot + i] = tsym[p]
-            pos += tlen[p]
-            np.minimum(pos, total_bits, out=pos)
-        return out[:count]
+        return _decode_chunked(payload, total_bits, count, codebook, chunk_offsets, chunk_size)
+
+    prefix, tsym, tlen = _prefix_and_tables(payload, total_bits, codebook)
 
     # Jump array: next codeword start from every offset (sentinel at end).
     step = np.empty(total_bits + 1, dtype=np.int64)
@@ -254,15 +451,25 @@ def huffman_decode(
     return tsym[prefix[seq]]
 
 
+def entropy_bits_from_hist(hist: np.ndarray) -> float:
+    """Shannon-entropy lower bound (total bits) from a symbol histogram."""
+    count = int(hist.sum())
+    if count == 0:
+        return 0.0
+    freqs = hist[hist > 0].astype(np.float64)
+    p = freqs / count
+    return float(-np.sum(p * np.log2(p)) * count)
+
+
 def entropy_bits(symbols: np.ndarray, alphabet_size: int) -> float:
     """Shannon-entropy lower bound (total bits) for coding *symbols*.
 
     Used by the adaptive controller to estimate compressed size without
-    materializing a bitstream.
+    materializing a bitstream.  Callers that already hold the histogram
+    should use :func:`entropy_bits_from_hist` instead of paying a second
+    ``bincount``.
     """
     flat = symbols.reshape(-1)
     if flat.size == 0:
         return 0.0
-    freqs = np.bincount(flat, minlength=alphabet_size).astype(np.float64)
-    p = freqs[freqs > 0] / flat.size
-    return float(-np.sum(p * np.log2(p)) * flat.size)
+    return entropy_bits_from_hist(histogram(flat, alphabet_size))

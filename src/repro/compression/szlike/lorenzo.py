@@ -32,18 +32,47 @@ def _validate(arr: np.ndarray, ndim: int) -> int:
     return ndim
 
 
-def lorenzo_encode(q: np.ndarray, ndim: int = 2) -> np.ndarray:
+def _diff_into(src: np.ndarray, axis: int, dst: np.ndarray) -> None:
+    """Finite difference along *axis* from *src* into *dst* (boundary
+    element copied).  *dst* must not alias *src*."""
+    hi = [slice(None)] * src.ndim
+    lo = [slice(None)] * src.ndim
+    first = [slice(None)] * src.ndim
+    hi[axis] = slice(1, None)
+    lo[axis] = slice(None, -1)
+    first[axis] = slice(0, 1)
+    np.subtract(src[tuple(hi)], src[tuple(lo)], out=dst[tuple(hi)])
+    dst[tuple(first)] = src[tuple(first)]
+
+
+def lorenzo_encode(
+    q: np.ndarray, ndim: int = 2, out: np.ndarray = None, work: np.ndarray = None
+) -> np.ndarray:
     """Residuals of the Lorenzo predictor over the last ``ndim`` axes.
 
     For integer input the transform is exact (losslessly invertible by
     :func:`lorenzo_decode`).  The first element along each axis is
     predicted as 0, i.e. residuals at the boundary equal the raw values.
+
+    With *out* (and, for ``ndim >= 2``, *work*) the per-axis differences
+    ping-pong between the two caller-owned buffers instead of allocating
+    — *work* may be *q* itself when the caller no longer needs the
+    input.  The returned array is whichever buffer holds the final
+    residuals.
     """
     _validate(q, ndim)
-    out = q
+    if out is None:
+        res = q
+        for axis in range(q.ndim - ndim, q.ndim):
+            res = np.diff(res, axis=axis, prepend=np.zeros_like(res.take([0], axis=axis)))
+        return res
+    if ndim >= 2 and work is None:
+        raise ValueError("lorenzo_encode with out= needs a work buffer for ndim >= 2")
+    src, dst = q, out
     for axis in range(q.ndim - ndim, q.ndim):
-        out = np.diff(out, axis=axis, prepend=np.zeros_like(out.take([0], axis=axis)))
-    return out
+        _diff_into(src, axis, dst)
+        src, dst = dst, (work if dst is out else out)
+    return src
 
 
 def lorenzo_decode(delta: np.ndarray, ndim: int = 2) -> np.ndarray:

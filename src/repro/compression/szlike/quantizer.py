@@ -20,7 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["prequantize", "reconstruct", "codes_from_residuals", "residuals_from_codes", "QuantizedResiduals"]
+__all__ = [
+    "prequantize",
+    "prequantize_into",
+    "reconstruct",
+    "codes_from_residuals",
+    "codes_from_residuals_into",
+    "residuals_from_codes",
+    "QuantizedResiduals",
+]
 
 
 def prequantize(x: np.ndarray, error_bound: float) -> np.ndarray:
@@ -30,6 +38,26 @@ def prequantize(x: np.ndarray, error_bound: float) -> np.ndarray:
     # rint keeps ties-to-even like cuSZ's round; int64 avoids overflow for
     # small error bounds on large-magnitude data.
     return np.rint(np.asarray(x, dtype=np.float64) / (2.0 * error_bound)).astype(np.int64)
+
+
+def prequantize_into(x: np.ndarray, error_bound: float, out: np.ndarray, work: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`prequantize` over caller-owned buffers.
+
+    Bit-identical to :func:`prequantize` (same float64 divide + rint +
+    int64 cast), but the float64 staging array (*work*) and the int64
+    result (*out*) come from the caller — typically a
+    :class:`~repro.utils.scratch.ScratchPool` — so the steady-state
+    compress path allocates nothing here.
+    """
+    if error_bound <= 0:
+        raise ValueError(f"error bound must be positive, got {error_bound}")
+    # dtype=float64 forces the division loop into double precision even
+    # for float32 input — the same arithmetic prequantize's float64
+    # upcast performs, so the two paths quantize bit-identically.
+    np.divide(x, 2.0 * error_bound, out=work, dtype=np.float64)
+    np.rint(work, out=work)
+    np.copyto(out, work, casting="unsafe")  # values are integral floats
+    return out
 
 
 def reconstruct(q: np.ndarray, error_bound: float, dtype=np.float32) -> np.ndarray:
@@ -85,6 +113,37 @@ def codes_from_residuals(delta: np.ndarray, radius: int = 512) -> QuantizedResid
     dtype = np.uint16 if 2 * radius <= np.iinfo(np.uint16).max else np.uint32
     codes = np.where(inlier, shifted, 0).astype(dtype)
     outliers = flat[~inlier].astype(np.int64)
+    return QuantizedResiduals(codes=codes, outliers=outliers, radius=radius, shape=delta.shape)
+
+
+def codes_from_residuals_into(
+    delta: np.ndarray,
+    radius: int,
+    *,
+    shifted: np.ndarray,
+    mask: np.ndarray,
+    work_mask: np.ndarray,
+    codes: np.ndarray,
+) -> QuantizedResiduals:
+    """Allocation-lean :func:`codes_from_residuals` over caller buffers.
+
+    *shifted* (int64), *mask*/*work_mask* (bool), and *codes* (the
+    output dtype, ``uint16``/``uint32``) are flat buffers of
+    ``delta.size`` elements, typically pooled scratch; only the (small)
+    outlier array is freshly allocated.  Semantics are identical to
+    :func:`codes_from_residuals`.
+    """
+    if radius < 2:
+        raise ValueError(f"radius must be >= 2, got {radius}")
+    flat = delta.reshape(-1)
+    np.add(flat, radius, out=shifted)
+    np.greater(shifted, 0, out=mask)
+    np.less(shifted, 2 * radius, out=work_mask)
+    np.logical_and(mask, work_mask, out=mask)
+    codes[...] = 0
+    np.copyto(codes, shifted, where=mask, casting="unsafe")
+    np.logical_not(mask, out=work_mask)
+    outliers = flat[work_mask].astype(np.int64)
     return QuantizedResiduals(codes=codes, outliers=outliers, radius=radius, shape=delta.shape)
 
 

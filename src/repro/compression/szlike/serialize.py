@@ -43,6 +43,10 @@ def wire_header_nbytes(data: bytes) -> int:
 
 def dumps(ct: CompressedTensor) -> bytes:
     """Serialize *ct* to a self-describing byte string."""
+    # A shared codebook is serialized by its owning container (one length
+    # table for all chunks); the chunk itself carries only the reference
+    # flag — exactly what its ``nbytes`` charges.
+    write_codebook = ct.codebook is not None and not ct.codebook_shared
     header = {
         "v": _VERSION,
         "shape": list(ct.shape),
@@ -57,9 +61,11 @@ def dumps(ct: CompressedTensor) -> bytes:
         "raw_codes_dtype": ct.raw_codes_dtype,
         "outlier_dtype": str(ct.outliers.dtype),
         "outlier_count": int(ct.outliers.size),
-        "has_codebook": ct.codebook is not None,
+        "has_codebook": write_codebook,
         "chunk_count": 0 if ct.chunk_offsets is None else int(ct.chunk_offsets.size),
     }
+    if ct.codebook_shared:
+        header["codebook_shared"] = True
     hbytes = json.dumps(header, separators=(",", ":")).encode()
     parts = [_MAGIC, struct.pack("<I", len(hbytes)), hbytes]
     parts.append(struct.pack("<Q", len(ct.payload)))
@@ -67,7 +73,7 @@ def dumps(ct: CompressedTensor) -> bytes:
     parts.append(ct.outliers.tobytes())
     if ct.chunk_offsets is not None:
         parts.append(ct.chunk_offsets.astype(np.int64).tobytes())
-    if ct.codebook is not None:
+    if write_codebook:
         parts.append(ct.codebook.lengths.astype(np.uint8).tobytes())
     return b"".join(parts)
 
@@ -119,4 +125,7 @@ def loads(data: bytes) -> CompressedTensor:
         codebook=codebook,
         zero_filter=header["zero_filter"],
         raw_codes_dtype=header["raw_codes_dtype"],
+        # a shared-codebook chunk comes back bookless; the chunked
+        # container's loads() re-attaches the shared book
+        codebook_shared=header.get("codebook_shared", False),
     )

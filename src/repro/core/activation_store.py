@@ -282,9 +282,17 @@ class CompressingContext(BaseCompressionContext):
         # forward order regardless of the engine.
         eb = self.resolve_error_bound(layer, arr)
         serialize = self.storage is not None
+        # Per-layer cache keys let a codebook-caching codec amortize its
+        # entropy setup across iterations: each conv layer packs once per
+        # forward in a fixed order, so per-key cache decisions stay
+        # deterministic even under the async engine's worker pool.
+        key = layer.name if getattr(self.compressor, "supports_cache_key", False) else None
 
         def job():
-            ct = self.compressor.compress(arr, error_bound=eb)
+            if key is not None:
+                ct = self.compressor.compress(arr, error_bound=eb, cache_key=key)
+            else:
+                ct = self.compressor.compress(arr, error_bound=eb)
             nz = float(np.count_nonzero(arr)) / arr.size
             return ct, _codec_dumps(ct) if serialize else None, nz
 

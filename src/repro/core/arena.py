@@ -38,6 +38,8 @@ import uuid
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.utils import profiler
+
 __all__ = ["ByteArena"]
 
 
@@ -124,7 +126,7 @@ class ByteArena:
     # -- API ---------------------------------------------------------------
     def put(self, data: bytes) -> int:
         """Store *data*; returns the key for :meth:`get`/:meth:`pop`."""
-        with self._lock:
+        with profiler.stage("arena-io"), self._lock:
             if self._closed:
                 raise RuntimeError("arena is closed")
             key = self._next_key
@@ -157,7 +159,7 @@ class ByteArena:
         # Disk read outside the lock so concurrent prefetch workers and
         # the training thread overlap their I/O instead of serializing.
         try:
-            with open(path, "rb") as f:
+            with profiler.stage("arena-io"), open(path, "rb") as f:
                 return f.read()
         except OSError:
             # Either a genuine I/O failure, or we raced a concurrent
@@ -214,7 +216,7 @@ class ByteArena:
             # Read outside the lock (see get()); revalidate before
             # inserting in case the entry was discarded meanwhile.
             try:
-                with open(path, "rb") as f:
+                with profiler.stage("arena-io"), open(path, "rb") as f:
                     data = f.read()
             except OSError:
                 continue

@@ -38,9 +38,13 @@ only the pure compression/serialization work runs on pool workers.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Deque, List, Optional, Union
+
+from repro.utils import profiler
 
 __all__ = ["CompressionEngine", "SyncEngine", "AsyncEngine", "resolve_engine"]
 
@@ -136,7 +140,16 @@ class AsyncEngine(CompressionEngine):
         beyond that is *staged*: the spilled bytes of those handles are
         read back into arena memory (:meth:`ByteArena.prefetch`) so the
         decompress jobs that follow find them at memory speed.  ``0``
-        disables both.
+        disables both.  ``"auto"`` derives the depth each backward pass
+        from observed latencies instead of a fixed window: the depth is
+        the ratio of the average prefetch-job (decompress + arena read)
+        time to the average backward-step gap between consecutive
+        unpacks — i.e. *how many layers of backward compute one
+        materialization spans* — clamped to ``[1, max_auto_depth]``.
+        Slow codecs over fast layers prefetch deeper; fast codecs stop
+        wasting pool slots on work the inline path would win anyway.
+    max_auto_depth:
+        Clamp for the adaptive depth (only with ``prefetch_depth="auto"``).
     max_pending:
         Backpressure bound on the pack queue (default ``4 * workers``).
         Every queued job closure keeps its raw activation alive, so an
@@ -156,14 +169,24 @@ class AsyncEngine(CompressionEngine):
     def __init__(
         self,
         workers: int = 2,
-        prefetch_depth: int = 2,
+        prefetch_depth: Union[int, str] = 2,
         max_pending: Optional[int] = None,
+        max_auto_depth: int = 8,
     ) -> None:
         super().__init__()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if prefetch_depth < 0:
+        self.adaptive_prefetch = prefetch_depth == "auto"
+        if self.adaptive_prefetch:
+            prefetch_depth = 1  # starting point until latencies arrive
+        elif isinstance(prefetch_depth, str):
+            raise ValueError(
+                f"prefetch_depth must be an int >= 0 or 'auto', got {prefetch_depth!r}"
+            )
+        elif prefetch_depth < 0:
             raise ValueError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
+        if max_auto_depth < 1:
+            raise ValueError(f"max_auto_depth must be >= 1, got {max_auto_depth}")
         if max_pending is None:
             max_pending = 4 * int(workers)
         if max_pending < 1:
@@ -171,6 +194,13 @@ class AsyncEngine(CompressionEngine):
         self.workers = int(workers)
         self.prefetch_depth = int(prefetch_depth)
         self.max_pending = int(max_pending)
+        self.max_auto_depth = int(max_auto_depth)
+        # -- adaptive-depth latency model (EMAs, guarded by a lock: job
+        # -- durations are reported from worker threads) ------------------
+        self._ema_lock = threading.Lock()
+        self._gap_ema: Optional[float] = None  # backward step between unpacks
+        self._job_ema: Optional[float] = None  # one materialization's cost
+        self._last_obtain_end: Optional[float] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         #: handles submitted but not yet finalized, in submission order
         self._pending: Deque[Any] = deque()
@@ -192,6 +222,9 @@ class AsyncEngine(CompressionEngine):
         #: staging requests for upcoming layers' spilled *parameter* bytes
         #: (contexts with an attached ParamStore only)
         self.param_stages_scheduled = 0
+        #: latest depth the adaptive controller settled on (mirrors
+        #: ``prefetch_depth`` for fixed-depth engines)
+        self.last_effective_depth = self.prefetch_depth
 
     # -- internals ---------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -200,6 +233,30 @@ class AsyncEngine(CompressionEngine):
                 max_workers=self.workers, thread_name_prefix="compression-engine"
             )
         return self._pool
+
+    # -- adaptive prefetch depth -------------------------------------------
+    def _update_ema(self, attr: str, value: float, alpha: float = 0.25) -> None:
+        with self._ema_lock:
+            prev = getattr(self, attr)
+            setattr(self, attr, value if prev is None else prev + alpha * (value - prev))
+
+    def _effective_depth(self) -> int:
+        """Prefetch window for this point in the backward pass.
+
+        Fixed engines return their configured depth; adaptive engines
+        size the window as ceil(materialize time / backward gap) — deep
+        enough that a materialization started now completes before the
+        training thread consumes it, no deeper.
+        """
+        if not self.adaptive_prefetch:
+            return self.prefetch_depth
+        with self._ema_lock:
+            gap, job = self._gap_ema, self._job_ema
+        if gap is not None and job is not None and gap > 0:
+            depth = max(1, min(-int(-job // gap), self.max_auto_depth))
+            self.prefetch_depth = depth  # visible current setting
+        self.last_effective_depth = self.prefetch_depth
+        return self.prefetch_depth
 
     def _finalize_next(self) -> None:
         handle = self._pending.popleft()
@@ -210,7 +267,12 @@ class AsyncEngine(CompressionEngine):
         try:
             # .result() propagates codec errors on the training thread (at
             # a later point than the sync engine would have raised them).
-            self._ctx._finalize_pack(handle, fut.result())
+            if fut.done():
+                payload = fut.result()
+            else:
+                with profiler.stage("engine-wait"):
+                    payload = fut.result()
+            self._ctx._finalize_pack(handle, payload)
         except BaseException:
             # The handle was never charged to the tracker; mark it
             # released so the error-path cleanup (clear_saved -> discard)
@@ -229,15 +291,20 @@ class AsyncEngine(CompressionEngine):
         """Worker-side speculative materialization; never raises.
 
         Returns ``(ct, out)`` or ``None`` when the handle raced a discard
-        or shutdown — the consumer falls back to the inline path.
+        or shutdown — the consumer falls back to the inline path.  The
+        job duration feeds the adaptive-depth latency model.
         """
         try:
+            t0 = time.perf_counter()
             ct = handle.compressed
             if ct is None:
                 # get() consumes the staged copy when the stage-ahead
                 # window already read the spill file back into memory.
                 ct = self._ctx._loads(self._ctx.storage.get(handle.arena_key))
-            return ct, self._ctx._decompress(ct)
+            out = self._ctx._decompress(ct)
+            if self.adaptive_prefetch:
+                self._update_ema("_job_ema", time.perf_counter() - t0)
+            return ct, out
         except Exception:
             return None
 
@@ -248,7 +315,8 @@ class AsyncEngine(CompressionEngine):
         self._dead = 0
 
     def _schedule_prefetch(self, current: Any) -> None:
-        if self.prefetch_depth <= 0:
+        depth = self._effective_depth()
+        if depth <= 0:
             return
         pos = current._live_pos
         if pos is None or pos >= len(self._live) or self._live[pos] is not current:
@@ -262,14 +330,14 @@ class AsyncEngine(CompressionEngine):
         upcoming_layers = []
         seen = 0
         idx = pos - 1
-        while idx >= 0 and seen < 2 * self.prefetch_depth:
+        while idx >= 0 and seen < 2 * depth:
             handle = self._live[idx]
             idx -= 1
             if handle is None or handle.released:
                 continue
             if handle.layer_name and handle.layer_name not in upcoming_layers:
                 upcoming_layers.append(handle.layer_name)
-            if seen < self.prefetch_depth:
+            if seen < depth:
                 if handle._prefetch_future is None:
                     handle._prefetch_future = self._ensure_pool().submit(
                         self._prefetch_job, handle
@@ -305,23 +373,45 @@ class AsyncEngine(CompressionEngine):
         handle._live_pos = len(self._live)
         self._live.append(handle)
         self.packs_submitted += 1
+        # A pack means the forward pass is running: the next unpack gap
+        # belongs to a fresh backward pass.
+        self._last_obtain_end = None
 
     def obtain(self, handle: Any):
+        t0 = time.perf_counter()
+        if self.adaptive_prefetch and self._last_obtain_end is not None:
+            # Gap between consecutive unpacks = one layer's backward
+            # compute (the clock resets on pack, so forward time between
+            # iterations never pollutes the estimate).
+            self._update_ema("_gap_ema", t0 - self._last_obtain_end)
         self.flush()
         # Kick off the *next* handles' prefetch before blocking on this
         # one, so speculative work overlaps the current decompress.
         self._schedule_prefetch(handle)
-        fut = handle._prefetch_future
-        if fut is not None:
-            handle._prefetch_future = None
-            res = fut.result()
-            if res is not None:
-                ct, out = res
-                self.prefetch_hits += 1
-                if handle.compressed is None:
-                    handle.compressed = ct
-                return out
-        return self._ctx._materialize(handle)
+        try:
+            fut = handle._prefetch_future
+            if fut is not None:
+                handle._prefetch_future = None
+                if fut.done():
+                    res = fut.result()
+                else:
+                    with profiler.stage("engine-wait"):
+                        res = fut.result()
+                if res is not None:
+                    ct, out = res
+                    self.prefetch_hits += 1
+                    if handle.compressed is None:
+                        handle.compressed = ct
+                    return out
+            t1 = time.perf_counter()
+            out = self._ctx._materialize(handle)
+            if self.adaptive_prefetch:
+                # Inline materializations feed the same latency model, so
+                # the depth estimate exists before the first prefetch hit.
+                self._update_ema("_job_ema", time.perf_counter() - t1)
+            return out
+        finally:
+            self._last_obtain_end = time.perf_counter()
 
     def ensure_packed(self, handle: Any) -> None:
         # Release barrier (ordering rule 2): the tracker must never see a

@@ -44,6 +44,7 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -74,6 +75,19 @@ class StoredEntry:
     raw_nbytes: int
     stored_nbytes: int
     arena_key: int
+    #: content fingerprint of the stored value (dirty tracking: a
+    #: write-back of identical bytes is skipped entirely)
+    digest: bytes = b""
+
+
+def _content_digest(arr: np.ndarray) -> bytes:
+    """128-bit BLAKE2b fingerprint of *arr*'s raw bytes (zero-copy for
+    contiguous arrays).  Hashing is an order of magnitude cheaper than
+    serialize + arena churn, which is the point of dirty tracking; a
+    collision (~2^-64 birthday risk across a training run) would keep a
+    stale value, so the digest is deliberately cryptographic rather
+    than a CRC."""
+    return hashlib.blake2b(np.ascontiguousarray(arr).data, digest_size=16).digest()
 
 
 def _slot_entry_name(param: Parameter, slot: str) -> str:
@@ -101,6 +115,12 @@ class ParamStore:
     tracker:
         Optional :class:`MemoryTracker`; the store charges its entries
         to the tracker's persistent pool.
+    dirty_tracking:
+        ``True`` (default): every entry carries a content digest, and a
+        :meth:`writeback` whose value is unchanged (frozen layers,
+        zero-gradient momentum, untouched Adam moments) skips the
+        serialize + arena replace entirely — ``writeback_skipped``
+        counts them.  Set ``False`` to force every write-back through.
     """
 
     def __init__(
@@ -109,6 +129,7 @@ class ParamStore:
         budget_bytes: Optional[int] = 64 << 20,
         codec: Union[Codec, str, None] = None,
         tracker: Optional[MemoryTracker] = None,
+        dirty_tracking: bool = True,
     ):
         self._owns_storage = storage is None
         self.storage = storage if storage is not None else ByteArena(budget_bytes=budget_bytes)
@@ -120,6 +141,7 @@ class ParamStore:
                 f"round-trip bit-exactly); {getattr(codec, 'name', codec)!r} is lossy"
             )
         self.codec = codec
+        self.dirty_tracking = bool(dirty_tracking)
         self.tracker = tracker or MemoryTracker()
         #: entry name -> StoredEntry; guarded by _lock (the async engine's
         #: workers read arena keys for staging while the training thread
@@ -139,6 +161,9 @@ class ParamStore:
         self.peak_materialized_nbytes = 0
         self.fetch_count = 0
         self.writeback_count = 0
+        #: write-backs skipped because the value was byte-identical to
+        #: the stored one (dirty tracking)
+        self.writeback_skipped = 0
         #: staging requests that failed (visible symptom of a prefetch
         #: race/regression — healthy runs keep this at 0)
         self.stage_errors = 0
@@ -173,6 +198,7 @@ class ParamStore:
                 raw_nbytes=arr.nbytes,
                 stored_nbytes=len(blob),
                 arena_key=self.storage.put(blob),
+                digest=_content_digest(arr) if self.dirty_tracking else b"",
             )
             self._entries[name] = entry
         self.tracker.record_persistent(name, entry.raw_nbytes, entry.stored_nbytes)
@@ -191,16 +217,27 @@ class ParamStore:
 
         The value is cast to the entry's recorded dtype/shape (matching
         resident in-place assignment semantics); a size mismatch raises
-        here, at write time, rather than corrupting the next fetch."""
+        here, at write time, rather than corrupting the next fetch.
+        With dirty tracking, a value byte-identical to the stored one
+        skips serialization and the arena replace entirely (the stored
+        bytes are already it)."""
         with self._lock:
             entry = self._entries[name]
         arr = np.asarray(arr, dtype=entry.dtype).reshape(entry.shape)
+        if self.dirty_tracking:
+            digest = _content_digest(arr)
+            if digest == entry.digest:
+                self.writeback_skipped += 1
+                return
+        else:
+            digest = b""
         blob = self._encode(arr)
         with self._lock:
             entry = self._entries[name]
             self.storage.discard(entry.arena_key)
             entry.arena_key = self.storage.put(blob)
             entry.stored_nbytes = len(blob)
+            entry.digest = digest
         self.writeback_count += 1
         self.tracker.record_persistent(name, entry.raw_nbytes, entry.stored_nbytes)
 

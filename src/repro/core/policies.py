@@ -79,9 +79,16 @@ class CodecPolicy(BaseCompressionContext):
 
     def _make_pack_job(self, layer: Layer, arr: np.ndarray) -> Callable[[], tuple]:
         serialize = self.storage is not None
+        # Per-layer keys flow to codebook-caching codecs here too, so the
+        # fixed-bound SZ baseline amortizes its entropy stage the same way
+        # the adaptive context does.
+        key = layer.name if getattr(self.codec, "supports_cache_key", False) else None
 
         def job():
-            ct = self.codec.compress(arr)
+            if key is not None:
+                ct = self.codec.compress(arr, cache_key=key)
+            else:
+                ct = self.codec.compress(arr)
             return ct, _codec_dumps(ct) if serialize else None, None
 
         return job

@@ -85,6 +85,15 @@ class Trainer:
         (weights restored to residency) on :meth:`close`.  Sessions that
         manage their own store (``CompressedTraining(param_storage=...)``)
         don't pass one here.
+    profiler:
+        ``True`` or a :class:`~repro.utils.profiler.StageProfiler` turns
+        on hot-path stage timing for the run: the codec's quantize /
+        predict / encode / decode stages, byte-arena I/O, and async-engine
+        waits accumulate into per-stage (seconds, calls) totals, plus a
+        ``step`` stage for whole iterations.  The profiler is installed
+        process-wide for the trainer's lifetime (deactivated by
+        :meth:`close`) and exposed as ``trainer.profiler``; read it with
+        ``trainer.profiler.snapshot()`` or ``.report_lines()``.
     """
 
     def __init__(
@@ -94,7 +103,10 @@ class Trainer:
         loss: Optional[SoftmaxCrossEntropy] = None,
         lr_schedule=None,
         param_store=None,
+        profiler=None,
     ):
+        from repro.utils.profiler import StageProfiler
+
         self.network = network
         self.optimizer = optimizer
         self.loss = loss or SoftmaxCrossEntropy()
@@ -109,12 +121,24 @@ class Trainer:
         #: for parameter collection (the paper's L-bar is per conv layer;
         #: per-layer values come from the framework's layer taps).
         self.last_loss_value: float = float("nan")
+        if profiler is True:
+            profiler = StageProfiler()
+        self.profiler: Optional[StageProfiler] = profiler or None
+        if self.profiler is not None:
+            self.profiler.activate()
+            self.close_hooks.append(lambda tr: tr.profiler.deactivate())
         if param_store is not None:
             param_store.attach(network, optimizer)
             self.close_hooks.append(lambda tr: param_store.close())
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> IterationRecord:
         """One forward/backward/update iteration; returns its record."""
+        if self.profiler is not None:
+            with self.profiler.stage("step"):
+                return self._train_step(images, labels)
+        return self._train_step(images, labels)
+
+    def _train_step(self, images: np.ndarray, labels: np.ndarray) -> IterationRecord:
         self.network.train(True)
         self.optimizer.zero_grad()
         logits = self.network.forward(images)

@@ -1,6 +1,9 @@
-"""Shared small utilities (RNG handling, byte accounting)."""
+"""Shared small utilities (RNG handling, byte accounting, scratch
+buffers, and the hot-path stage profiler)."""
 
 from repro.utils.rng import ensure_rng
 from repro.utils.sizes import nbytes_of, human_bytes
+from repro.utils.scratch import ScratchPool
+from repro.utils.profiler import StageProfiler
 
-__all__ = ["ensure_rng", "nbytes_of", "human_bytes"]
+__all__ = ["ensure_rng", "nbytes_of", "human_bytes", "ScratchPool", "StageProfiler"]

@@ -1,0 +1,110 @@
+"""Reusable scratch-buffer pool for hot-path array temporaries.
+
+The SZ compress pipeline historically allocated three-plus full-size
+temporaries per tensor per call (the float64 quantization grid, the
+Lorenzo residuals, the shifted code array) — tens of megabytes of
+allocator/page-fault traffic for every activation on every iteration.
+:class:`ScratchPool` keeps those buffers alive between calls:
+
+* ``take(shape, dtype)`` hands out a writable array view backed by a
+  pooled flat buffer.  Buffers are keyed by dtype and matched by
+  capacity (best fit), so one pooled buffer serves *every* layer shape
+  of that dtype — the pool's footprint is bounded by the largest tensor,
+  not the number of distinct shapes.
+* The context-manager form returns the buffer on exit; concurrent takes
+  (the :class:`~repro.compression.registry.ChunkedCodec` thread workers
+  share one inner compressor) are safe — each take pops a distinct
+  buffer under the pool lock, or allocates fresh when the pool is empty.
+
+Pools are deliberately *not* pickled (a process-pool worker rebuilds an
+empty one): the buffers are pure caches.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+__all__ = ["ScratchPool"]
+
+
+class ScratchPool:
+    """Thread-safe pool of reusable flat scratch buffers.
+
+    Parameters
+    ----------
+    max_per_dtype:
+        Free buffers retained per dtype; returns beyond the cap drop the
+        smallest free buffer so the largest (most reusable) survive.
+    max_total_bytes:
+        Ceiling on pooled (free) bytes across all dtypes; returning a
+        buffer that would exceed it evicts smallest-first.
+    """
+
+    def __init__(self, max_per_dtype: int = 8, max_total_bytes: int = 256 << 20):
+        if max_per_dtype < 1:
+            raise ValueError(f"max_per_dtype must be >= 1, got {max_per_dtype}")
+        self.max_per_dtype = int(max_per_dtype)
+        self.max_total_bytes = int(max_total_bytes)
+        self._free: Dict[np.dtype, List[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        # -- statistics ----------------------------------------------------
+        self.hits = 0
+        self.misses = 0
+        self.free_bytes = 0
+
+    def _borrow(self, size: int, dtype: np.dtype) -> np.ndarray:
+        with self._lock:
+            bucket = self._free.get(dtype)
+            if bucket:
+                # Best fit: smallest free buffer with enough capacity.
+                best = None
+                for i, buf in enumerate(bucket):
+                    if buf.size >= size and (best is None or buf.size < bucket[best].size):
+                        best = i
+                if best is not None:
+                    buf = bucket.pop(best)
+                    self.free_bytes -= buf.nbytes
+                    self.hits += 1
+                    return buf
+            self.misses += 1
+        return np.empty(size, dtype=dtype)
+
+    def _give(self, buf: np.ndarray) -> None:
+        dtype = buf.dtype
+        with self._lock:
+            bucket = self._free.setdefault(dtype, [])
+            bucket.append(buf)
+            self.free_bytes += buf.nbytes
+            bucket.sort(key=lambda b: b.size)
+            while len(bucket) > self.max_per_dtype or (
+                self.free_bytes > self.max_total_bytes and bucket
+            ):
+                dropped = bucket.pop(0)  # smallest first
+                self.free_bytes -= dropped.nbytes
+
+    @contextmanager
+    def take(self, shape, dtype) -> Iterator[np.ndarray]:
+        """Yield a writable ``shape``/*dtype* array view (contents
+        undefined); the backing buffer returns to the pool on exit."""
+        dtype = np.dtype(dtype)
+        size = int(np.prod(shape)) if shape else 1
+        buf = self._borrow(size, dtype)
+        try:
+            yield buf[:size].reshape(shape)
+        finally:
+            self._give(buf)
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (frees the memory)."""
+        with self._lock:
+            self._free.clear()
+            self.free_bytes = 0
+
+    def __repr__(self) -> str:
+        with self._lock:
+            n = sum(len(b) for b in self._free.values())
+        return f"ScratchPool(free_buffers={n}, free_bytes={self.free_bytes})"

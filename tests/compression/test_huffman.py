@@ -149,9 +149,61 @@ class TestErrors:
             huffman_decode(payload[: len(payload) // 2], bits, 100, cb, None)
 
 
+class TestWordPackedEncoder:
+    """The low-allocation word-packed kernel against the bit-plane oracle."""
+
+    @pytest.mark.parametrize("size", [1, 100, 4096, 4097, 70_000])
+    def test_packers_bit_identical(self, rng, size):
+        syms = np.minimum(rng.geometric(0.3, size=size), 255).astype(np.uint16)
+        cb = build_codebook(syms, 256)
+        words = huffman_encode(syms, cb, packer="words")
+        bitplane = huffman_encode(syms, cb, packer="bitplane")
+        assert words[0] == bitplane[0]
+        assert words[1] == bitplane[1]
+        assert np.array_equal(words[2], bitplane[2])
+
+    def test_packers_match_across_block_boundary(self, rng):
+        from repro.compression.szlike.huffman import ENCODE_BLOCK
+
+        syms = rng.integers(0, 512, size=ENCODE_BLOCK + 123).astype(np.uint16)
+        cb = build_codebook(syms, 512)
+        assert huffman_encode(syms, cb, packer="words")[0] == \
+            huffman_encode(syms, cb, packer="bitplane")[0]
+
+    def test_unknown_packer_rejected(self, rng):
+        syms = rng.integers(0, 8, size=10).astype(np.uint16)
+        cb = build_codebook(syms, 8)
+        with pytest.raises(ValueError, match="packer"):
+            huffman_encode(syms, cb, packer="simd")
+
+    def test_decode_tables_cached_on_codebook(self, rng):
+        syms = rng.integers(0, 64, size=1000).astype(np.uint16)
+        cb = build_codebook(syms, 64)
+        t1 = cb.decode_tables()
+        assert cb.decode_tables() is t1  # built once
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(cb))
+        assert clone._tables is None  # derived state is not shipped
+        payload, bits, chunks = huffman_encode(syms, cb)
+        assert np.array_equal(
+            huffman_decode(payload, bits, syms.size, clone, chunk_offsets=chunks), syms
+        )
+
+
 @given(st.lists(st.integers(0, 31), min_size=1, max_size=3000))
 @settings(max_examples=60, deadline=None)
 def test_property_roundtrip(values):
     syms = np.array(values, dtype=np.uint16)
     assert np.array_equal(_roundtrip(syms, 32, chunked=True), syms)
     assert np.array_equal(_roundtrip(syms, 32, chunked=False), syms)
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=3000))
+@settings(max_examples=60, deadline=None)
+def test_property_packers_agree(values):
+    syms = np.array(values, dtype=np.uint16)
+    cb = build_codebook(syms, 32)
+    w = huffman_encode(syms, cb, packer="words")
+    b = huffman_encode(syms, cb, packer="bitplane")
+    assert w[0] == b[0] and w[1] == b[1]

@@ -157,7 +157,15 @@ class TestChunkedCodec:
         ct = ck.compress(activation_tensor)
         from repro.compression.registry import CHUNK_HEADER_BYTES
 
-        assert ct.nbytes == sum(c.nbytes for c in ct.chunks) + CHUNK_HEADER_BYTES
+        # huffman inner -> one shared codebook, charged once by the
+        # container; the chunks themselves carry only references
+        assert ct.shared_codebook is not None
+        assert all(c.codebook_shared for c in ct.chunks)
+        assert ct.nbytes == (
+            sum(c.nbytes for c in ct.chunks)
+            + CHUNK_HEADER_BYTES
+            + ct.shared_codebook.nbytes
+        )
         assert ct.original_nbytes == activation_tensor.nbytes
         assert ct.compression_ratio > 1
 

@@ -395,6 +395,58 @@ class TestShutdownMidFlight:
         ctx.close()
 
 
+class TestAdaptivePrefetchDepth:
+    """prefetch_depth="auto": depth derived from observed backward-step
+    latency vs materialization cost — a pure scheduling knob, so results
+    must stay bit-identical to sync at every depth."""
+
+    @pytest.mark.parametrize("depth", [0, 1, 3, "auto"])
+    def test_bit_identity_at_depth(self, depth):
+        tr_s, sess_s = train_session("sync")
+        tr_a, sess_a = train_session(AsyncEngine(workers=2, prefetch_depth=depth))
+        np.testing.assert_array_equal(tr_s.history.losses, tr_a.history.losses)
+        assert sess_s.tracker.iteration_ratios == sess_a.tracker.iteration_ratios
+        assert sess_s.tracker.peak_stored_bytes == sess_a.tracker.peak_stored_bytes
+
+    def test_auto_depth_adapts_from_latencies(self, rng):
+        """Feed the EMAs directly: slow materialize over fast backward
+        steps must deepen the window; the clamp bounds it."""
+        eng = AsyncEngine(workers=1, prefetch_depth="auto", max_auto_depth=4)
+        assert eng.adaptive_prefetch
+        eng._update_ema("_gap_ema", 0.010)
+        eng._update_ema("_job_ema", 0.025)
+        assert eng._effective_depth() == 3  # ceil(25ms / 10ms)
+        eng._job_ema = 1.0  # pathological codec: clamp holds
+        assert eng._effective_depth() == 4
+        eng._job_ema = 1e-5  # fast codec: never below one
+        assert eng._effective_depth() == 1
+        eng.close()
+
+    def test_auto_depth_trains_and_settles(self):
+        eng = AsyncEngine(workers=2, prefetch_depth="auto")
+        with ByteArena(budget_bytes=0) as arena:
+            tr_a, _ = train_session(eng, storage=arena)
+            tr_s, _ = train_session("sync")
+            np.testing.assert_array_equal(tr_s.history.losses, tr_a.history.losses)
+        # the latency model saw real gaps and jobs and settled on a depth
+        assert eng._gap_ema is not None and eng._job_ema is not None
+        assert 1 <= eng.last_effective_depth <= eng.max_auto_depth
+
+    def test_fixed_depth_engines_do_not_adapt(self):
+        eng = AsyncEngine(workers=1, prefetch_depth=2)
+        assert not eng.adaptive_prefetch
+        eng._update_ema("_gap_ema", 0.001)
+        eng._update_ema("_job_ema", 1.0)
+        assert eng._effective_depth() == 2
+        eng.close()
+
+    def test_bad_depth_strings_rejected(self):
+        with pytest.raises(ValueError, match="auto"):
+            AsyncEngine(prefetch_depth="turbo")
+        with pytest.raises(ValueError):
+            AsyncEngine(prefetch_depth="auto", max_auto_depth=0)
+
+
 class TestCodecPolicyEngine:
     """The unified base gives the baseline policies engines + storage."""
 

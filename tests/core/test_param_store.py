@@ -103,6 +103,60 @@ class TestEntryLifecycle:
         store.close()
 
 
+class TestDirtyTracking:
+    """Per-entry digests skip write-backs of unchanged bytes — pure I/O
+    elision, invisible to training results."""
+
+    def test_unchanged_writeback_skipped(self, rng):
+        store = ParamStore(budget_bytes=None)
+        arr = rng.standard_normal((32, 8)).astype(np.float32)
+        store.adopt("w", arr)
+        store.writeback("w", arr.copy())  # identical bytes
+        assert store.writeback_count == 0
+        assert store.writeback_skipped == 1
+        changed = arr * 1.5
+        store.writeback("w", changed)
+        assert store.writeback_count == 1
+        np.testing.assert_array_equal(store.fetch("w"), changed)
+        store.writeback("w", changed.copy())  # unchanged again
+        assert store.writeback_count == 1
+        assert store.writeback_skipped == 2
+        store.close()
+
+    def test_zero_grad_step_skips_all_slot_writebacks(self):
+        """With zero gradients, SGD leaves velocity (0) and weights
+        unchanged: the whole optimizer step must write nothing back."""
+        net = small_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        store = ParamStore(budget_bytes=0)
+        store.attach(net, opt)
+        opt.zero_grad()
+        before_writes = store.writeback_count
+        opt.step()
+        assert store.writeback_count == before_writes  # nothing dirty
+        # one weight + one velocity skip per parameter
+        assert store.writeback_skipped == 2 * len(net.parameters())
+        store.close()
+
+    def test_real_training_writes_back_dirty_entries(self):
+        """A real step mutates weights and velocity, so write-backs do
+        happen; the skip path must not eat genuine updates (covered
+        bit-exactly by TestTrainingEquivalence too)."""
+        store = ParamStore(budget_bytes=0)
+        losses, _, _ = train_run(SGD, dict(lr=0.01, momentum=0.9), store, iters=2)
+        assert np.isfinite(losses).all()
+        assert store.writeback_count > 0
+
+    def test_dirty_tracking_can_be_disabled(self, rng):
+        store = ParamStore(budget_bytes=None, dirty_tracking=False)
+        arr = rng.standard_normal((8, 8)).astype(np.float32)
+        store.adopt("w", arr)
+        store.writeback("w", arr.copy())
+        assert store.writeback_count == 1
+        assert store.writeback_skipped == 0
+        store.close()
+
+
 class TestTrainingEquivalence:
     def test_sgd_losses_and_weights_bit_identical(self):
         kw = dict(lr=0.01, momentum=0.9, weight_decay=5e-4)

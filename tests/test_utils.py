@@ -1,9 +1,11 @@
-"""Utility helpers: RNG normalization and byte accounting."""
+"""Utility helpers: RNG normalization, byte accounting, scratch pool,
+and the hot-path stage profiler."""
 
 import numpy as np
 import pytest
 
-from repro.utils import ensure_rng, human_bytes, nbytes_of
+from repro.utils import ScratchPool, StageProfiler, ensure_rng, human_bytes, nbytes_of
+from repro.utils import profiler as profiler_mod
 
 
 class TestEnsureRng:
@@ -51,3 +53,130 @@ class TestHumanBytes:
     ])
     def test_formats(self, n, expected):
         assert human_bytes(n) == expected
+
+
+class TestScratchPool:
+    def test_reuse_across_shapes_same_dtype(self):
+        pool = ScratchPool()
+        with pool.take((4, 8), np.int64) as a:
+            a[...] = 7
+            first_base = a.base
+        # a smaller request of the same dtype reuses the same flat buffer
+        with pool.take((2, 3), np.int64) as b:
+            assert b.base is first_base
+            assert b.shape == (2, 3)
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_concurrent_takes_get_distinct_buffers(self):
+        pool = ScratchPool()
+        with pool.take((16,), np.float64) as a, pool.take((16,), np.float64) as b:
+            assert a.base is not b.base
+            a[...] = 1.0
+            b[...] = 2.0
+            assert float(a.sum()) == 16.0
+
+    def test_thread_safety_under_contention(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ScratchPool()
+
+        def work(i):
+            with pool.take((1024,), np.int64) as buf:
+                buf[...] = i
+                return int(buf[0]) == i and int(buf[-1]) == i
+
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            assert all(ex.map(work, range(64)))
+
+    def test_caps_bound_pool_footprint(self):
+        pool = ScratchPool(max_per_dtype=2, max_total_bytes=1 << 20)
+        for n in (100, 200, 300, 400):
+            with pool.take((n,), np.float64):
+                pass
+        assert pool.free_bytes <= 2 * 400 * 8
+
+    def test_clear_releases_everything(self):
+        pool = ScratchPool()
+        with pool.take((64,), np.float32):
+            pass
+        assert pool.free_bytes > 0
+        pool.clear()
+        assert pool.free_bytes == 0
+
+    def test_rejects_bad_caps(self):
+        with pytest.raises(ValueError):
+            ScratchPool(max_per_dtype=0)
+
+
+class TestStageProfiler:
+    def test_inactive_stage_is_noop(self):
+        assert profiler_mod.get_active() is None
+        with profiler_mod.stage("anything"):
+            pass  # no profiler active: nothing recorded, nothing raised
+
+    def test_records_stages_when_active(self):
+        p = StageProfiler()
+        with p:
+            assert profiler_mod.get_active() is p
+            with profiler_mod.stage("encode"):
+                pass
+            with profiler_mod.stage("encode"):
+                pass
+            with profiler_mod.stage("decode"):
+                pass
+        assert profiler_mod.get_active() is None
+        snap = p.snapshot()
+        assert snap["encode"]["calls"] == 2
+        assert snap["decode"]["calls"] == 1
+        assert snap["encode"]["seconds"] >= 0.0
+
+    def test_disabled_profiler_records_nothing(self):
+        p = StageProfiler(enabled=False)
+        with p, profiler_mod.stage("x"):
+            pass
+        assert p.snapshot() == {}
+
+    def test_thread_safe_recording(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        p = StageProfiler()
+
+        def work(_):
+            for _ in range(50):
+                p.record("s", 0.001)
+
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            list(ex.map(work, range(8)))
+        snap = p.snapshot()
+        assert snap["s"]["calls"] == 400
+        assert snap["s"]["seconds"] == pytest.approx(0.4)
+
+    def test_report_lines_and_reset(self):
+        p = StageProfiler()
+        p.record("quantize", 0.5)
+        lines = p.report_lines()
+        assert any("quantize" in line for line in lines)
+        p.reset()
+        assert p.snapshot() == {}
+
+    def test_trainer_knob_profiles_hot_path(self):
+        """Trainer(profiler=True) activates stage timing end-to-end: the
+        codec stages and the step stage accumulate during training."""
+        from repro.core import AdaptiveConfig, CompressedTraining
+        from repro.models import build_scaled_model
+        from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+        net = build_scaled_model("alexnet", num_classes=4, image_size=16, rng=1)
+        opt = SGD(net.parameters(), lr=0.01)
+        trainer = Trainer(net, opt, profiler=True)
+        CompressedTraining(
+            net, opt, config=AdaptiveConfig(W=5, warmup_iterations=1)
+        ).attach(trainer)
+        ds = SyntheticImageDataset(num_classes=4, image_size=16, seed=5)
+        trainer.train(batches(ds, 4, 2, seed=1))
+        snap = trainer.profiler.snapshot()
+        trainer.close()
+        for stage_name in ("step", "quantize", "predict", "encode", "decode"):
+            assert stage_name in snap, f"missing stage {stage_name}"
+            assert snap[stage_name]["calls"] > 0
+        assert profiler_mod.get_active() is None  # close() deactivated it
