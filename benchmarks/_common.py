@@ -100,38 +100,45 @@ ENGINE_IMAGE = 16 if QUICK else 32
 ENGINE_BATCH = 4 if QUICK else 16
 
 
+#: the committed declarative setup every engine-axis run starts from —
+#: codec, adaptive knobs, and optimizer pinned in one reviewable file
+ENGINE_CONFIG = os.path.join(os.path.dirname(__file__), "configs", "engine_session.json")
+
+
 def timed_engine_run(engine, model=ENGINE_MODEL, image_size=ENGINE_IMAGE,
                      batch=ENGINE_BATCH, iters=6, param_budget=None):
     """One compressed-training run for the sync-vs-async engine axes.
 
-    Returns ``(seconds, losses, session)``.  Deterministically seeded so
-    two runs that differ only in *engine* (or in whether parameters live
+    Returns ``(seconds, losses, session)`` where *session* exposes the
+    compressed-training internals (``tracker``, ``param_store``,
+    ``engine``).  The setup is the committed JSON config
+    ``configs/engine_session.json`` loaded through the
+    :mod:`repro.api` front door, with only the benchmark axes (engine
+    kind, parameter budget) overridden — so the benchmarked workload is
+    reproducible from a reviewable file.  Deterministically seeded: two
+    runs that differ only in *engine* (or in whether parameters live
     out-of-core) must produce bit-identical losses and tracker numbers.
     ``param_budget`` (bytes) additionally moves weights and optimizer
-    slots into an arena-backed :class:`ParamStore` with that in-memory
+    slots into an arena-backed ``ParamStore`` with that in-memory
     budget — the full out-of-core regime.
     """
     import time
 
-    from repro.compression import SZCompressor
-    from repro.core import AdaptiveConfig, CompressedTraining, ParamStore
+    from repro.api import SessionConfig, build_session
     from repro.models import build_scaled_model
-    from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+    from repro.nn import SyntheticImageDataset, batches
+
+    cfg = SessionConfig.from_json(ENGINE_CONFIG)
+    cfg.engine.kind = engine
+    if param_budget is not None:
+        cfg.storage.params = "arena"
+        cfg.storage.param_budget_bytes = param_budget
 
     net = build_scaled_model(model, num_classes=8, image_size=image_size, rng=42)
-    opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
-    trainer = Trainer(net, opt)
-    param_storage = None if param_budget is None else ParamStore(budget_bytes=param_budget)
-    session = CompressedTraining(
-        net, opt,
-        compressor=SZCompressor(entropy="zlib", zero_filter=True),
-        config=AdaptiveConfig(W=10, warmup_iterations=2),
-        param_storage=param_storage,
-        engine=engine,
-    ).attach(trainer)
+    session = build_session(net, cfg)
     dataset = SyntheticImageDataset(num_classes=8, image_size=image_size, signal=0.4, seed=7)
     t0 = time.perf_counter()
-    trainer.train(batches(dataset, batch, iters, seed=1))
+    session.train(batches(dataset, batch, iters, seed=1))
     elapsed = time.perf_counter() - t0
-    trainer.close()
-    return elapsed, trainer.history.losses, session
+    session.close()
+    return elapsed, session.history.losses, session.compressed

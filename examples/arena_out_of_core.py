@@ -17,12 +17,14 @@ engine.
     python examples/arena_out_of_core.py
 """
 
+import os
+
 from repro.compression import ChunkedCodec, get_codec
 from repro.core import AdaptiveConfig, ByteArena, CompressedTraining
 from repro.models import build_scaled_model
 from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
 
-ITERATIONS = 40
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLE_ITERS", "40"))
 BATCH = 32
 BUDGET = 96 << 10  # 96 KiB in-memory arena: small enough to force spills
 

@@ -19,11 +19,13 @@ round-trip is lossless by construction) — the only cost is wall clock.
     python examples/full_out_of_core.py
 """
 
+import os
+
 from repro.core import AdaptiveConfig, ByteArena, CompressedTraining, ParamStore
 from repro.models import build_scaled_model
 from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
 
-ITERATIONS = 20
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLE_ITERS", "20"))
 BATCH = 16
 ACT_BUDGET = 64 << 10  # 64 KiB for packed activations
 PARAM_BUDGET = 64 << 10  # in-memory ceiling for weights + momentum

@@ -13,6 +13,7 @@ hosts.
     python examples/pipelined_training.py
 """
 
+import os
 import time
 
 import numpy as np
@@ -22,7 +23,7 @@ from repro.core import AdaptiveConfig, AsyncEngine, CompressedTraining
 from repro.models import build_scaled_model
 from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
 
-ITERATIONS = 20
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLE_ITERS", "20"))
 BATCH = 16
 
 

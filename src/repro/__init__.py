@@ -3,6 +3,12 @@ Framework via Error-Bounded Lossy Compression" (Jin et al., PPoPP 2021).
 
 Subpackages
 -----------
+``repro.api``
+    The declarative front door: :class:`~repro.api.config.SessionConfig`
+    (serializable codec / per-layer policy-rule / storage / engine /
+    adaptive / profiler / optimizer specs) and
+    :func:`~repro.api.session.build_session`, which composes the whole
+    stack into one :class:`~repro.api.session.Session`.
 ``repro.compression``
     SZ/cuSZ-style error-bounded lossy compressor (Lorenzo + dual
     quantization + Huffman) plus JPEG-like and lossless baselines.
@@ -25,17 +31,19 @@ Subpackages
 
 Quick start::
 
-    from repro.nn import SGD, Trainer, SyntheticImageDataset, batches
+    from repro.api import SessionConfig, build_session
+    from repro.nn import SyntheticImageDataset, batches
     from repro.models import build_scaled_model
-    from repro.core import CompressedTraining
 
     net = build_scaled_model("alexnet", num_classes=8)
-    opt = SGD(net.parameters(), lr=0.02, momentum=0.9)
-    trainer = Trainer(net, opt)
-    session = CompressedTraining(net, opt).attach(trainer)
     ds = SyntheticImageDataset(num_classes=8)
-    trainer.train(batches(ds, batch_size=32, num_batches=100))
-    print(session.tracker.overall_ratio)  # activation memory reduction
+    with build_session(net, SessionConfig()) as session:
+        session.train(batches(ds, batch_size=32, num_batches=100))
+        print(session.tracker.overall_ratio)  # activation memory reduction
+
+(The imperative ``Trainer`` + ``CompressedTraining`` pair still works —
+see :mod:`repro.core.framework` — and ``SessionConfig.from_json`` makes
+any run reproducible from a committed file.)
 """
 
 __version__ = "1.0.0"

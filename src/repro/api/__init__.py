@@ -1,0 +1,53 @@
+"""repro.api — the declarative front door to the framework.
+
+Everything the stack can do — registry codecs, per-layer policy rules,
+byte-arena activation storage, out-of-core parameters, sync/async
+engines, the adaptive error-bound controller, stage profiling — is
+driven from one serializable :class:`SessionConfig`:
+
+    from repro.api import SessionConfig, PolicyRule, CodecSpec, build_session
+
+    cfg = SessionConfig(
+        rules=[PolicyRule(match="l0", codec=CodecSpec("lossless")),
+               PolicyRule(match="l[24]", error_bound=1e-4)],
+        engine=EngineSpec(kind="async"),
+    )
+    with build_session(network, cfg) as session:
+        session.train(batches(dataset, 32, 100, seed=1))
+
+``cfg.to_json(path)`` / ``SessionConfig.from_json(path)`` round-trip
+the whole tree, so a committed JSON file reproduces a run bit-for-bit.
+The legacy constructors (``CompressedTraining``, ``Trainer``) remain as
+shims over the same machinery and expose their config twin via
+``session_config``.
+"""
+
+from repro.api.config import (
+    AdaptiveSpec,
+    CodecSpec,
+    ConfigError,
+    EngineSpec,
+    OptimizerSpec,
+    PolicyRule,
+    ProfilerSpec,
+    SessionConfig,
+    StorageSpec,
+    capture_session_config,
+)
+from repro.api.session import Session, build_policy_table, build_session
+
+__all__ = [
+    "AdaptiveSpec",
+    "CodecSpec",
+    "ConfigError",
+    "EngineSpec",
+    "OptimizerSpec",
+    "PolicyRule",
+    "ProfilerSpec",
+    "SessionConfig",
+    "StorageSpec",
+    "capture_session_config",
+    "Session",
+    "build_policy_table",
+    "build_session",
+]

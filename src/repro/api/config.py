@@ -1,0 +1,762 @@
+"""Declarative session configuration: the serializable half of the front door.
+
+A :class:`SessionConfig` describes *everything* a compressed-training
+session is made of — default codec, per-layer policy rules, storage
+budgets, execution engine, adaptive controller, profiler, optimizer —
+as a tree of plain dataclasses that round-trips losslessly through
+``dict`` and JSON:
+
+    cfg = SessionConfig(
+        codec=CodecSpec("szlike", {"entropy": "huffman"}),
+        rules=[PolicyRule(match="l0", codec=CodecSpec("lossless")),
+               PolicyRule(match="l[24]", error_bound=1e-4)],
+        engine=EngineSpec(kind="async"),
+    )
+    cfg.to_json("run.json")
+    ...
+    session = build_session(network, SessionConfig.from_json("run.json"))
+
+Design rules:
+
+* **Registry-keyed construction** — codecs are named by their
+  :mod:`repro.compression.registry` key plus a kwargs dict, never by
+  live objects, so a committed JSON file reproduces a run exactly.
+* **Strict parsing** — :meth:`SessionConfig.from_dict` rejects unknown
+  keys and wrong types with errors that name the offending section and
+  list what *is* accepted; a typo'd knob fails loudly at load time, not
+  silently at iteration 400.
+* **Canonical serialization** — ``to_dict`` emits only non-default
+  fields, so ``from_dict(to_dict(cfg))`` is identity and two configs
+  compare equal iff their dicts do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.error_model import THEORY_COEFFICIENT_A
+
+__all__ = [
+    "CodecSpec",
+    "PolicyRule",
+    "StorageSpec",
+    "EngineSpec",
+    "AdaptiveSpec",
+    "ProfilerSpec",
+    "OptimizerSpec",
+    "SessionConfig",
+    "capture_session_config",
+]
+
+
+# ---------------------------------------------------------------------------
+# Strict-parsing helpers
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(ValueError):
+    """A config that cannot be built, with an actionable message."""
+
+
+def _check_keys(d: Dict[str, Any], cls, where: str) -> None:
+    if not isinstance(d, dict):
+        raise ConfigError(
+            f"{where}: expected a mapping, got {type(d).__name__}"
+        )
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(d) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"{where}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"accepted keys: {', '.join(sorted(allowed))}"
+        )
+
+
+def _defaults(cls) -> Dict[str, Any]:
+    out = {}
+    for f in dataclasses.fields(cls):
+        if f.default is not dataclasses.MISSING:
+            out[f.name] = f.default
+        elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            out[f.name] = f.default_factory()  # type: ignore[misc]
+    return out
+
+
+def _sparse_dict(spec, nested: Dict[str, Any]) -> Dict[str, Any]:
+    """Dataclass -> dict with default-valued fields omitted; *nested*
+    maps field name -> already-serialized value (or None to omit)."""
+    out: Dict[str, Any] = {}
+    defaults = _defaults(type(spec))
+    for f in dataclasses.fields(spec):
+        if f.name in nested:
+            if nested[f.name] is not None:
+                out[f.name] = nested[f.name]
+            continue
+        value = getattr(spec, f.name)
+        if f.name in defaults and value == defaults[f.name]:
+            continue
+        out[f.name] = value
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Leaf specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CodecSpec:
+    """A codec named by registry key + constructor options.
+
+    ``CodecSpec("szlike", {"error_bound": 1e-4, "entropy": "zlib"})`` is
+    ``get_codec("szlike", error_bound=1e-4, entropy="zlib")``, but
+    serializable.
+    """
+
+    name: str = "szlike"
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self, where: str = "codec") -> None:
+        from repro.compression.registry import available_codecs
+
+        if self.name.lower() not in available_codecs():
+            raise ConfigError(
+                f"{where}: unknown codec {self.name!r}; "
+                f"available: {', '.join(available_codecs())}"
+            )
+        if not isinstance(self.options, dict) or not all(
+            isinstance(k, str) for k in self.options
+        ):
+            raise ConfigError(f"{where}: options must be a mapping with string keys")
+        try:
+            json.dumps(self.options)
+        except TypeError as exc:
+            raise ConfigError(
+                f"{where}: options must be JSON-serializable ({exc}); "
+                f"pass declarative values, not live objects"
+            ) from None
+
+    def build(self):
+        from repro.compression.registry import get_codec
+
+        self.validate()
+        try:
+            return get_codec(self.name, **self.options)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"codec {self.name!r}: {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "codec") -> "CodecSpec":
+        _check_keys(d, cls, where)
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
+@dataclass
+class PolicyRule:
+    """One per-layer policy: glob-matched layers get their own regime.
+
+    First match wins across ``SessionConfig.rules``; unmatched layers
+    fall back to the session defaults.
+
+    Parameters
+    ----------
+    match:
+        :mod:`fnmatch` glob over layer names (``"l0"``, ``"l1?"``,
+        ``"conv*"``).
+    label:
+        Accounting-group name (auto ``"rule<i>"`` when empty) — per-rule
+        raw/stored bytes appear under it in
+        ``MemoryTracker.group_summary()``.
+    codec:
+        Codec for matched layers; ``None`` inherits the session codec.
+    error_bound:
+        Fixed absolute bound for matched layers.  A fixed bound pins
+        the layers — the controller skips them — and therefore
+        contradicts ``adaptive=True`` (validation rejects the
+        combination; use ``initial_rel_eb`` for an adaptive warm start).
+    adaptive:
+        ``None`` (default) resolves to ``error_bound is None``.
+    storage:
+        ``"arena"`` / ``"inmem"`` / ``None`` (inherit session storage).
+    initial_rel_eb, eb_min, eb_max:
+        Per-rule warm-up bound and controller clamp overrides.
+    """
+
+    match: str = "*"
+    label: str = ""
+    codec: Optional[CodecSpec] = None
+    error_bound: Optional[float] = None
+    adaptive: Optional[bool] = None
+    storage: Optional[str] = None
+    initial_rel_eb: Optional[float] = None
+    eb_min: Optional[float] = None
+    eb_max: Optional[float] = None
+
+    def resolved_adaptive(self) -> bool:
+        return self.adaptive if self.adaptive is not None else self.error_bound is None
+
+    def validate(self, where: str = "rule") -> None:
+        if not isinstance(self.match, str) or not self.match:
+            raise ConfigError(f"{where}: match must be a non-empty glob string")
+        if self.codec is not None:
+            self.codec.validate(f"{where}.codec")
+        if self.error_bound is not None and self.error_bound <= 0:
+            raise ConfigError(
+                f"{where}: error_bound must be positive, got {self.error_bound}"
+            )
+        if self.storage not in (None, "arena", "inmem"):
+            raise ConfigError(
+                f"{where}: storage must be 'arena', 'inmem', or omitted, "
+                f"got {self.storage!r}"
+            )
+        if self.resolved_adaptive() and self.error_bound is not None:
+            raise ConfigError(
+                f"{where}: adaptive=True contradicts a fixed error_bound; "
+                f"drop one (a fixed bound implies adaptive=False)"
+            )
+        for attr in ("initial_rel_eb", "eb_min", "eb_max"):
+            v = getattr(self, attr)
+            if v is not None and v <= 0:
+                raise ConfigError(f"{where}: {attr} must be positive, got {v}")
+        if self.eb_min is not None and self.eb_max is not None and self.eb_max <= self.eb_min:
+            raise ConfigError(
+                f"{where}: need eb_min < eb_max, got {self.eb_min} >= {self.eb_max}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(
+            self, {"codec": self.codec.to_dict() if self.codec else None}
+        )
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "rule") -> "PolicyRule":
+        _check_keys(d, cls, where)
+        d = dict(d)
+        if "codec" in d:
+            d["codec"] = CodecSpec.from_dict(d["codec"], f"{where}.codec")
+        rule = cls(**d)
+        rule.validate(where)
+        return rule
+
+
+@dataclass
+class StorageSpec:
+    """Where packed activations and parameters physically live.
+
+    ``activations="arena"`` serializes packed activations into a
+    budgeted :class:`~repro.core.arena.ByteArena` (spill-to-disk
+    overflow, byte-exact tracker numbers); ``params="arena"`` moves
+    weights and optimizer slots into a :class:`~repro.core.param_store.ParamStore`.
+    """
+
+    activations: str = "inmem"  # "inmem" | "arena"
+    budget_bytes: int = 64 << 20
+    spill_dir: Optional[str] = None
+    params: str = "resident"  # "resident" | "arena"
+    param_budget_bytes: int = 64 << 20
+    param_codec: Optional[CodecSpec] = None
+    param_dirty_tracking: bool = True
+
+    def validate(self, where: str = "storage") -> None:
+        if self.activations not in ("inmem", "arena"):
+            raise ConfigError(
+                f"{where}: activations must be 'inmem' or 'arena', "
+                f"got {self.activations!r}"
+            )
+        if self.params not in ("resident", "arena"):
+            raise ConfigError(
+                f"{where}: params must be 'resident' or 'arena', got {self.params!r}"
+            )
+        for attr in ("budget_bytes", "param_budget_bytes"):
+            v = getattr(self, attr)
+            if not isinstance(v, int) or v < 0:
+                raise ConfigError(f"{where}: {attr} must be an int >= 0, got {v!r}")
+        if self.param_codec is not None:
+            self.param_codec.validate(f"{where}.param_codec")
+            from repro.compression.registry import get_codec
+
+            probe = get_codec(self.param_codec.name, **self.param_codec.options)
+            try:
+                if not getattr(probe, "lossless", False):
+                    raise ConfigError(
+                        f"{where}.param_codec: {self.param_codec.name!r} is lossy; "
+                        f"parameters must round-trip bit-exactly "
+                        f"(use 'lossless' or 'sparse-lossless')"
+                    )
+            finally:
+                # a probe ChunkedCodec may have eagerly forked a pool
+                close = getattr(probe, "close", None)
+                if callable(close):
+                    close()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(
+            self,
+            {"param_codec": self.param_codec.to_dict() if self.param_codec else None},
+        )
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "storage") -> "StorageSpec":
+        _check_keys(d, cls, where)
+        d = dict(d)
+        if "param_codec" in d:
+            d["param_codec"] = CodecSpec.from_dict(d["param_codec"], f"{where}.param_codec")
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
+@dataclass
+class EngineSpec:
+    """Execution strategy for the saved-tensor path."""
+
+    kind: str = "sync"  # "sync" | "async"
+    workers: int = 2
+    prefetch_depth: Union[int, str] = 2  # int or "auto"
+    max_pending: Optional[int] = None
+    max_auto_depth: int = 8
+
+    def validate(self, where: str = "engine") -> None:
+        if self.kind not in ("sync", "async"):
+            raise ConfigError(
+                f"{where}: kind must be 'sync' or 'async', got {self.kind!r}"
+            )
+        if self.workers < 1:
+            raise ConfigError(f"{where}: workers must be >= 1, got {self.workers}")
+        if isinstance(self.prefetch_depth, str):
+            if self.prefetch_depth != "auto":
+                raise ConfigError(
+                    f"{where}: prefetch_depth must be an int >= 0 or 'auto', "
+                    f"got {self.prefetch_depth!r}"
+                )
+        elif not isinstance(self.prefetch_depth, int) or self.prefetch_depth < 0:
+            raise ConfigError(
+                f"{where}: prefetch_depth must be an int >= 0 or 'auto', "
+                f"got {self.prefetch_depth!r}"
+            )
+        if self.max_pending is not None and (
+            not isinstance(self.max_pending, int) or self.max_pending < 1
+        ):
+            raise ConfigError(
+                f"{where}: max_pending must be an int >= 1 or omitted, "
+                f"got {self.max_pending!r}"
+            )
+        if not isinstance(self.max_auto_depth, int) or self.max_auto_depth < 1:
+            raise ConfigError(
+                f"{where}: max_auto_depth must be an int >= 1, "
+                f"got {self.max_auto_depth!r}"
+            )
+
+    def build(self):
+        from repro.core.engine import AsyncEngine, SyncEngine
+
+        self.validate()
+        if self.kind == "sync":
+            return SyncEngine()
+        return AsyncEngine(
+            workers=self.workers,
+            prefetch_depth=self.prefetch_depth,
+            max_pending=self.max_pending,
+            max_auto_depth=self.max_auto_depth,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "engine") -> "EngineSpec":
+        _check_keys(d, cls, where)
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
+@dataclass
+class AdaptiveSpec:
+    """The Eq. 8/9 controller's knobs (defaults match
+    ``CompressedTraining``'s: the paper's values with W scaled to
+    CPU-sized runs)."""
+
+    enabled: bool = True
+    W: int = 50
+    sigma_fraction: float = 0.01
+    #: Eq. 9 coefficient (the exact rms convention's 1/sqrt(3)); exposed
+    #: so ablation configs round-trip too
+    coefficient: float = float(THEORY_COEFFICIENT_A)
+    initial_rel_eb: float = 1e-3
+    warmup_iterations: int = 5
+    eb_min: float = 1e-10
+    eb_max: float = 10.0
+    min_nonzero_ratio: float = 1e-3
+
+    def validate(self, where: str = "adaptive") -> None:
+        try:
+            self.to_adaptive_config()
+        except ValueError as exc:
+            raise ConfigError(f"{where}: {exc}") from None
+
+    def to_adaptive_config(self):
+        from repro.core.adaptive import AdaptiveConfig
+
+        return AdaptiveConfig(
+            W=self.W,
+            sigma_fraction=self.sigma_fraction,
+            coefficient=self.coefficient,
+            initial_rel_eb=self.initial_rel_eb,
+            warmup_iterations=self.warmup_iterations,
+            eb_min=self.eb_min,
+            eb_max=self.eb_max,
+            min_nonzero_ratio=self.min_nonzero_ratio,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "adaptive") -> "AdaptiveSpec":
+        _check_keys(d, cls, where)
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
+@dataclass
+class ProfilerSpec:
+    """Hot-path stage profiling for the run (``Trainer(profiler=True)``)."""
+
+    enabled: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "profiler") -> "ProfilerSpec":
+        _check_keys(d, cls, where)
+        return cls(**d)
+
+
+@dataclass
+class OptimizerSpec:
+    """Optimizer construction, so a config fully determines a run."""
+
+    kind: str = "sgd"  # "sgd" | "adam"
+    lr: float = 0.01
+    momentum: float = 0.9  # sgd only
+    weight_decay: float = 0.0
+    options: Dict[str, Any] = field(default_factory=dict)  # extras (adam betas/eps)
+
+    def validate(self, where: str = "optimizer") -> None:
+        if self.kind not in ("sgd", "adam"):
+            raise ConfigError(
+                f"{where}: kind must be 'sgd' or 'adam', got {self.kind!r}"
+            )
+        if self.lr <= 0:
+            raise ConfigError(f"{where}: lr must be positive, got {self.lr}")
+        try:
+            json.dumps(self.options)
+        except TypeError as exc:
+            raise ConfigError(f"{where}: options must be JSON-serializable ({exc})") from None
+
+    def build(self, params):
+        from repro.nn.optim import SGD, Adam
+
+        self.validate()
+        try:
+            if self.kind == "sgd":
+                return SGD(
+                    params,
+                    lr=self.lr,
+                    momentum=self.momentum,
+                    weight_decay=self.weight_decay,
+                    **self.options,
+                )
+            opts = dict(self.options)
+            if "betas" in opts:
+                opts["betas"] = tuple(opts["betas"])
+            return Adam(params, lr=self.lr, weight_decay=self.weight_decay, **opts)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"optimizer {self.kind!r}: {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "optimizer") -> "OptimizerSpec":
+        _check_keys(d, cls, where)
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
+# ---------------------------------------------------------------------------
+# The root
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionConfig:
+    """Declarative description of one compressed-training session.
+
+    ``build_session(network, config)`` turns it into a live
+    :class:`~repro.api.session.Session`; :meth:`to_json` /
+    :meth:`from_json` make runs reproducible from a committed file.
+    """
+
+    codec: CodecSpec = field(default_factory=CodecSpec)
+    rules: List[PolicyRule] = field(default_factory=list)
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    adaptive: AdaptiveSpec = field(default_factory=AdaptiveSpec)
+    profiler: ProfilerSpec = field(default_factory=ProfilerSpec)
+    optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    #: False skips activation compression entirely (the session is then
+    #: a plain trainer, optionally with out-of-core parameters /
+    #: profiler — what a bare ``Trainer(param_store=..., profiler=...)``
+    #: gives you today)
+    compress_activations: bool = True
+
+    def validate(self) -> "SessionConfig":
+        self.codec.validate("codec")
+        labels = set()
+        for i, rule in enumerate(self.rules):
+            if not isinstance(rule, PolicyRule):
+                raise ConfigError(
+                    f"rules[{i}]: expected a PolicyRule, got {type(rule).__name__}"
+                )
+            rule.validate(f"rules[{i}] (match={rule.match!r})")
+            label = rule.label or f"rule{i}"
+            if label in labels:
+                raise ConfigError(f"rules[{i}]: duplicate rule label {label!r}")
+            labels.add(label)
+            if rule.storage == "arena" and self.storage.activations != "arena":
+                raise ConfigError(
+                    f"rules[{i}] (match={rule.match!r}): storage='arena' needs "
+                    f"storage.activations='arena' on the session (no arena is "
+                    f"configured to put the bytes in)"
+                )
+            # A partial clamp override combines with the session's global
+            # clamp at runtime — cross-check here so the pair fails at
+            # load time, not at the controller's first update.
+            lo = rule.eb_min if rule.eb_min is not None else self.adaptive.eb_min
+            hi = rule.eb_max if rule.eb_max is not None else self.adaptive.eb_max
+            if hi <= lo:
+                raise ConfigError(
+                    f"rules[{i}] (match={rule.match!r}): effective eb clamps are "
+                    f"inverted (eb_min={lo} >= eb_max={hi}, combining the rule's "
+                    f"overrides with adaptive.eb_min/eb_max)"
+                )
+        self.storage.validate("storage")
+        self.engine.validate("engine")
+        self.adaptive.validate("adaptive")
+        self.optimizer.validate("optimizer")
+        return self
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(
+            self,
+            {
+                "codec": self.codec.to_dict() or None,
+                "rules": [r.to_dict() for r in self.rules] or None,
+                "storage": self.storage.to_dict() or None,
+                "engine": self.engine.to_dict() or None,
+                "adaptive": self.adaptive.to_dict() or None,
+                "profiler": self.profiler.to_dict() or None,
+                "optimizer": self.optimizer.to_dict() or None,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SessionConfig":
+        _check_keys(d, cls, "session")
+        d = dict(d)
+        parsers = {
+            "codec": CodecSpec.from_dict,
+            "storage": StorageSpec.from_dict,
+            "engine": EngineSpec.from_dict,
+            "adaptive": AdaptiveSpec.from_dict,
+            "profiler": ProfilerSpec.from_dict,
+            "optimizer": OptimizerSpec.from_dict,
+        }
+        for key, parse in parsers.items():
+            if key in d:
+                d[key] = parse(d[key], key)
+        if "rules" in d:
+            if not isinstance(d["rules"], list):
+                raise ConfigError(
+                    f"rules: expected a list of rule mappings, "
+                    f"got {type(d['rules']).__name__}"
+                )
+            d["rules"] = [
+                PolicyRule.from_dict(r, f"rules[{i}]") for i, r in enumerate(d["rules"])
+            ]
+        return cls(**d).validate()
+
+    def to_json(self, path: Optional[str] = None, *, indent: int = 2) -> str:
+        """JSON form; also written to *path* when given."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, "os.PathLike"]) -> "SessionConfig":
+        """Parse from a JSON string, or from a file path if *source*
+        names an existing file."""
+        if isinstance(source, os.PathLike) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            path = os.fspath(source)
+            if not os.path.exists(path):
+                raise ConfigError(
+                    f"config file {path!r} does not exist "
+                    f"(pass a JSON object string or a valid path)"
+                )
+            with open(path) as f:
+                text = f.read()
+        else:
+            text = source
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Capture: the legacy-shim bridge
+# ---------------------------------------------------------------------------
+
+
+def capture_session_config(
+    *,
+    compressor=None,
+    adaptive_config=None,
+    adaptive_enabled: bool = True,
+    storage=None,
+    param_storage=None,
+    engine=None,
+    policy_table=None,
+    optimizer=None,
+) -> Optional[SessionConfig]:
+    """Best-effort :class:`SessionConfig` for a legacy
+    ``CompressedTraining(...)`` call's arguments.
+
+    Returns ``None`` when any argument is a live object the declarative
+    schema cannot describe (a non-registry codec, a hand-built engine
+    instance, a policy table without declarative source rules) — the
+    session still works, it just has no config twin.
+    """
+    from repro.compression.registry import spec_of
+    from repro.core.arena import ByteArena
+    from repro.core.engine import AsyncEngine, SyncEngine
+    from repro.core.param_store import ParamStore
+    from repro.nn.optim import SGD, Adam
+
+    cfg = SessionConfig()
+
+    if compressor is not None:
+        if isinstance(compressor, str):
+            cfg.codec = CodecSpec(name=compressor)
+        else:
+            try:
+                spec = spec_of(compressor)
+            except (TypeError, ValueError):
+                return None
+            cfg.codec = CodecSpec(name=spec["name"], options=spec["options"])
+
+    if adaptive_config is not None:
+        cfg.adaptive = AdaptiveSpec(
+            enabled=adaptive_enabled,
+            W=adaptive_config.W,
+            sigma_fraction=adaptive_config.sigma_fraction,
+            coefficient=float(adaptive_config.coefficient),
+            initial_rel_eb=adaptive_config.initial_rel_eb,
+            warmup_iterations=adaptive_config.warmup_iterations,
+            eb_min=adaptive_config.eb_min,
+            eb_max=adaptive_config.eb_max,
+            min_nonzero_ratio=adaptive_config.min_nonzero_ratio,
+        )
+    else:
+        cfg.adaptive.enabled = adaptive_enabled
+
+    if storage is not None:
+        if not isinstance(storage, ByteArena):
+            return None
+        cfg.storage.activations = "arena"
+        if storage.budget_bytes is not None:
+            cfg.storage.budget_bytes = int(storage.budget_bytes)
+
+    if param_storage is not None:
+        if isinstance(param_storage, ParamStore):
+            arena = param_storage.storage
+            codec = param_storage.codec
+            if codec is not None:
+                try:
+                    spec = spec_of(codec)
+                except (TypeError, ValueError):
+                    return None
+                cfg.storage.param_codec = CodecSpec(spec["name"], spec["options"])
+            cfg.storage.param_dirty_tracking = param_storage.dirty_tracking
+        elif isinstance(param_storage, ByteArena):
+            arena = param_storage
+        else:
+            return None
+        cfg.storage.params = "arena"
+        if arena.budget_bytes is not None:
+            cfg.storage.param_budget_bytes = int(arena.budget_bytes)
+
+    if engine is not None:
+        if isinstance(engine, str):
+            cfg.engine = EngineSpec(kind=engine.lower())
+        elif isinstance(engine, SyncEngine):
+            cfg.engine = EngineSpec(kind="sync")
+        elif isinstance(engine, AsyncEngine):
+            cfg.engine = EngineSpec(
+                kind="async",
+                workers=engine.workers,
+                prefetch_depth="auto" if engine.adaptive_prefetch else engine.prefetch_depth,
+                max_pending=engine.max_pending,
+                max_auto_depth=engine.max_auto_depth,
+            )
+        else:
+            return None
+
+    if policy_table is not None:
+        rules = getattr(policy_table, "source_rules", None)
+        if rules is None:
+            return None  # hand-built table: matchers aren't serializable
+        cfg.rules = [dataclasses.replace(r) for r in rules]
+
+    if optimizer is not None:
+        if isinstance(optimizer, SGD):
+            cfg.optimizer = OptimizerSpec(
+                kind="sgd",
+                lr=optimizer.lr,
+                momentum=optimizer.momentum,
+                weight_decay=optimizer.weight_decay,
+            )
+        elif isinstance(optimizer, Adam):
+            cfg.optimizer = OptimizerSpec(
+                kind="adam",
+                lr=optimizer.lr,
+                weight_decay=optimizer.weight_decay,
+                options={"betas": list(optimizer.betas), "eps": optimizer.eps},
+            )
+        else:
+            return None
+
+    try:
+        return cfg.validate()
+    except ConfigError:
+        return None

@@ -1,0 +1,219 @@
+"""The front door: ``build_session(network, config) -> Session``.
+
+One call composes the whole stack the previous PRs grew — codec
+registry, per-layer :class:`~repro.core.policy_table.PolicyTable`,
+:class:`~repro.core.arena.ByteArena` activation storage,
+:class:`~repro.core.param_store.ParamStore` out-of-core parameters,
+sync/async :mod:`~repro.core.engine`, the Eq. 8/9 adaptive controller,
+and the stage profiler — from one declarative
+:class:`~repro.api.config.SessionConfig`, and hands back a
+:class:`Session` that owns every resource behind a single
+:meth:`~Session.close`.
+
+    cfg = SessionConfig.from_json("run.json")
+    with build_session(network, cfg) as session:
+        session.train(batches(dataset, 32, 100, seed=1))
+        print(session.tracker.overall_ratio)
+
+Determinism contract: for the same network (same initial weights) and
+the same batch stream, a session built from a config is bit-identical
+to the equivalent hand-wired ``Trainer`` + ``CompressedTraining`` pair
+— the shim-equivalence tests in ``tests/api`` pin this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.api.config import ConfigError, PolicyRule, SessionConfig
+from repro.core.policy_table import PolicyTable, ResolvedPolicy, compile_matcher
+
+__all__ = ["Session", "build_session", "build_policy_table"]
+
+
+def build_policy_table(rules: List[PolicyRule]) -> Optional[PolicyTable]:
+    """Compile declarative :class:`PolicyRule` specs into a live
+    :class:`PolicyTable` (codec instances built once per rule and shared
+    by every layer the rule matches).  Returns ``None`` for no rules.
+
+    The source rules are kept on the table (``table.source_rules``) so a
+    session built from it can reproduce its declarative config.
+    """
+    if not rules:
+        return None
+    compiled: List[Tuple[object, ResolvedPolicy]] = []
+    for i, rule in enumerate(rules):
+        rule.validate(f"rules[{i}] (match={rule.match!r})")
+        compiled.append(
+            (
+                compile_matcher(rule.match),
+                ResolvedPolicy(
+                    label=rule.label or f"rule{i}",
+                    codec=rule.codec.build() if rule.codec is not None else None,
+                    error_bound=rule.error_bound,
+                    adaptive=rule.resolved_adaptive(),
+                    storage=rule.storage,
+                    initial_rel_eb=rule.initial_rel_eb,
+                    eb_min=rule.eb_min,
+                    eb_max=rule.eb_max,
+                ),
+            )
+        )
+    table = PolicyTable(compiled)
+    table.source_rules = [r for r in rules]
+    return table
+
+
+class Session:
+    """A fully-wired training session: one object, one ``close()``.
+
+    Owns the trainer, the compression machinery (when
+    ``compress_activations`` is on), the optional param store, engine,
+    and profiler.  Also a context manager.
+    """
+
+    def __init__(self, network, optimizer, trainer, config, compressed=None):
+        self.network = network
+        self.optimizer = optimizer
+        self.trainer = trainer
+        #: the declarative config this session was built from
+        self.config = config
+        #: the underlying :class:`~repro.core.framework.CompressedTraining`
+        #: (None when ``compress_activations=False``)
+        self.compressed = compressed
+
+    # -- delegation --------------------------------------------------------
+    def train(self, batch_iter, max_iterations: Optional[int] = None):
+        return self.trainer.train(batch_iter, max_iterations)
+
+    def train_step(self, images, labels):
+        return self.trainer.train_step(images, labels)
+
+    def evaluate(self, images, labels, batch_size: int = 64) -> float:
+        return self.trainer.evaluate(images, labels, batch_size)
+
+    @property
+    def history(self):
+        return self.trainer.history
+
+    @property
+    def profiler(self):
+        return self.trainer.profiler
+
+    @property
+    def tracker(self):
+        return self.compressed.tracker if self.compressed is not None else None
+
+    @property
+    def param_store(self):
+        if self.compressed is not None and self.compressed.param_store is not None:
+            return self.compressed.param_store
+        return self.trainer.param_store
+
+    @property
+    def engine(self):
+        return self.compressed.engine if self.compressed is not None else None
+
+    @property
+    def policy_table(self):
+        return self.compressed.ctx.policy_table if self.compressed is not None else None
+
+    @property
+    def error_bounds(self):
+        return self.compressed.error_bounds if self.compressed is not None else {}
+
+    @property
+    def compression_ratios(self):
+        return self.compressed.compression_ratios if self.compressed is not None else {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Tear everything down exactly once: flush in-flight packs,
+        stop engine workers, restore out-of-core parameters, deactivate
+        the profiler.  Idempotent (delegates to the trainer's close-hook
+        chain, where every owned resource is registered)."""
+        self.trainer.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "compressed" if self.compressed is not None else "plain"
+        return f"Session({mode}, engine={self.config.engine.kind!r}, iter={self.trainer.iteration})"
+
+
+def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
+    """Build a live :class:`Session` for *network* from *config*.
+
+    Parameters
+    ----------
+    network:
+        Any :class:`~repro.nn.layers.base.Layer` tree (its compressible
+        conv layers get the saved-tensor treatment).
+    config:
+        A validated :class:`SessionConfig` (``validate()`` is called
+        again here; errors name the offending section).
+    optimizer:
+        Optional pre-built optimizer; by default one is constructed from
+        ``config.optimizer`` over ``network.parameters()``.
+    """
+    from repro.core.arena import ByteArena
+    from repro.core.framework import CompressedTraining
+    from repro.core.param_store import ParamStore
+    from repro.nn.trainer import Trainer
+
+    if not isinstance(config, SessionConfig):
+        raise ConfigError(
+            f"build_session expects a SessionConfig "
+            f"(got {type(config).__name__}); parse files with "
+            f"SessionConfig.from_json(path)"
+        )
+    config.validate()
+
+    if optimizer is None:
+        optimizer = config.optimizer.build(network.parameters())
+
+    storage = None
+    if config.storage.activations == "arena":
+        storage = ByteArena(
+            budget_bytes=config.storage.budget_bytes,
+            spill_dir=config.storage.spill_dir,
+        )
+
+    param_storage = None
+    if config.storage.params == "arena":
+        param_storage = ParamStore(
+            budget_bytes=config.storage.param_budget_bytes,
+            codec=(
+                config.storage.param_codec.build()
+                if config.storage.param_codec is not None
+                else None
+            ),
+            dirty_tracking=config.storage.param_dirty_tracking,
+            spill_dir=config.storage.spill_dir,
+        )
+
+    profiler = True if config.profiler.enabled else None
+
+    if not config.compress_activations:
+        trainer = Trainer(
+            network, optimizer, param_store=param_storage, profiler=profiler
+        )
+        return Session(network, optimizer, trainer, config)
+
+    trainer = Trainer(network, optimizer, profiler=profiler)
+    compressed = CompressedTraining(
+        network,
+        optimizer,
+        compressor=config.codec.build(),
+        config=config.adaptive.to_adaptive_config(),
+        storage=storage,
+        param_storage=param_storage,
+        engine=config.engine.build(),
+        policy_table=build_policy_table(config.rules),
+        adaptive=config.adaptive.enabled,
+    ).attach(trainer)
+    return Session(network, optimizer, trainer, config, compressed=compressed)

@@ -36,6 +36,7 @@ container-header charge.
 
 from __future__ import annotations
 
+import inspect
 import json
 import struct
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -44,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime
 
 import numpy as np
 
+from repro.utils import profiler as _profiler
 from repro.compression.jpeg_like import JpegCompressedTensor, JpegLikeCompressor
 from repro.compression.lossless import (
     DeflateCompressor,
@@ -58,6 +60,7 @@ __all__ = [
     "register_codec",
     "get_codec",
     "available_codecs",
+    "spec_of",
     "dumps",
     "loads",
     "wire_header_nbytes",
@@ -128,6 +131,85 @@ def get_codec(name: str, **kwargs) -> Codec:
 
 def available_codecs() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def _ctor_defaults(cls) -> Dict[str, Any]:
+    """Constructor-parameter defaults of *cls* — the single source of
+    truth ``spec_of`` compares against (no hand-copied default tables
+    that could drift when a constructor changes)."""
+    return {
+        name: p.default
+        for name, p in inspect.signature(cls.__init__).parameters.items()
+        if p.default is not inspect.Parameter.empty
+    }
+
+
+def _nondefault_options(codec, attrs, defaults) -> Dict[str, Any]:
+    return {
+        attr: getattr(codec, attr)
+        for attr in attrs
+        if getattr(codec, attr) != defaults[attr]
+    }
+
+
+def spec_of(codec: Codec) -> Dict[str, Any]:
+    """Declarative ``{"name": ..., "options": {...}}`` spec for *codec*.
+
+    The inverse of :func:`get_codec`: ``get_codec(spec["name"],
+    **spec["options"])`` builds an equivalent instance.  Only
+    non-default constructor options are emitted, so a default-built
+    codec round-trips to ``{"name": ..., "options": {}}`` — the stable
+    canonical form the api layer serializes to JSON.
+
+    Raises :class:`TypeError` for codec types the registry cannot
+    describe (hand-rolled codecs outside the registry), and
+    :class:`ValueError` for ablation-only modes
+    (``emulate_zero_drift``) that are deliberately not serializable.
+    """
+    if isinstance(codec, SZCompressor):
+        if codec.emulate_zero_drift:
+            raise ValueError(
+                "SZCompressor(emulate_zero_drift=True) is an ablation-only mode "
+                "and cannot be captured in a declarative codec spec"
+            )
+        d = _ctor_defaults(SZCompressor)
+        options = _nondefault_options(
+            codec,
+            ("error_bound", "mode", "dict_size", "lorenzo_ndim", "entropy",
+             "zero_filter", "zlib_level"),
+            d,
+        )
+        if codec.codebook_cache is not None:
+            options["codebook_cache"] = True
+            if codec.codebook_cache.refresh_interval != d["codebook_refresh"]:
+                options["codebook_refresh"] = codec.codebook_cache.refresh_interval
+            if codec.codebook_cache.delta != d["codebook_delta"]:
+                options["codebook_delta"] = codec.codebook_cache.delta
+        return {"name": "szlike", "options": options}
+    if isinstance(codec, JpegCodec):
+        options = _nondefault_options(
+            codec, ("quality", "zlib_level"), _ctor_defaults(JpegLikeCompressor)
+        )
+        return {"name": "jpeg", "options": options}
+    if isinstance(codec, (DeflateCodec, SparseLosslessCodec)):
+        options = _nondefault_options(codec, ("level",), _ctor_defaults(type(codec)))
+        return {"name": codec.name, "options": options}
+    if isinstance(codec, ChunkedCodec):
+        inner_spec = spec_of(codec.inner)
+        options = {"inner": inner_spec["name"], **inner_spec["options"]}
+        options.update(
+            _nondefault_options(
+                codec,
+                ("workers", "min_chunk_nbytes", "executor", "share_codebook"),
+                _ctor_defaults(ChunkedCodec),
+            )
+        )
+        return {"name": "chunked", "options": options}
+    raise TypeError(
+        f"cannot describe {type(codec).__name__} as a registry spec; "
+        f"declarative configs need a registry codec "
+        f"({', '.join(available_codecs())})"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -335,6 +417,27 @@ CHUNK_HEADER_BYTES = 32
 # Module-level trampolines: ProcessPoolExecutor can only ship picklable
 # callables, so per-chunk work is expressed as (codec, args) tuples
 # rather than the bound-method closures the thread path uses.
+def _profiled_chunk_op(packed):
+    """Run a chunk trampoline in a worker *process* under a child-local
+    profiler and ship the per-stage timings back with the result.
+
+    Thread workers report straight into the parent's process-wide active
+    profiler; a process worker has its own (empty) module global, so the
+    encode/decode stage totals would silently vanish at the executor
+    boundary.  The parent merges the returned snapshots.
+    """
+    from repro.utils.profiler import StageProfiler
+
+    op, args = packed
+    prof = StageProfiler()
+    prof.activate()
+    try:
+        result = op(args)
+    finally:
+        prof.deactivate()
+    return result, prof.snapshot()
+
+
 def _chunk_compress(args):
     codec, part, error_bound, codebook = args
     if codebook is not None:
@@ -519,7 +622,18 @@ class ChunkedCodec:
             # to inline serial execution instead.
             if self._pool is None:
                 return [inline(*args) for args in arg_lists]
-            return list(self._pool.map(op, [(self.inner, *args) for args in arg_lists]))
+            packed = [(self.inner, *args) for args in arg_lists]
+            active = _profiler.get_active()
+            if active is None:
+                return list(self._pool.map(op, packed))
+            # Profiling run: each chunk executes under a child-local
+            # profiler and its stage snapshot is merged back here, so
+            # encode/decode totals survive the process boundary.
+            results = []
+            for result, snap in self._pool.map(_profiled_chunk_op, [(op, p) for p in packed]):
+                active.merge(snap)
+                results.append(result)
+            return results
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="chunked-codec"
@@ -618,6 +732,11 @@ class ChunkedCodec:
         return out.reshape(ct.shape)
 
     def estimate_nbytes(self, x: np.ndarray, error_bound: Optional[float] = None) -> float:
+        """Expected compressed footprint, cache-aware: under codebook
+        sharing the container-owned book is charged **once**, matching
+        :attr:`ChunkedCompressedTensor.nbytes` (each per-chunk estimate
+        charges a private book; actual shared-book chunks carry only a
+        reference)."""
         x = np.asarray(x)
         if error_bound is None and hasattr(self.inner, "resolve_error_bound"):
             error_bound = self.inner.resolve_error_bound(x)
@@ -628,7 +747,15 @@ class ChunkedCodec:
             [(p, error_bound) for p in parts],
             lambda p, eb: self.inner.estimate_nbytes(p, error_bound=eb),
         )
-        return float(sum(ests)) + CHUNK_HEADER_BYTES
+        est = float(sum(ests)) + CHUNK_HEADER_BYTES
+        if (
+            n > 1
+            and self.share_codebook
+            and getattr(self.inner, "supports_codebook_sharing", False)
+            and getattr(self.inner, "entropy", "") in ("huffman", "huffman+zlib")
+        ):
+            est -= (n - 1) * self.inner.dict_size
+        return est
 
     def roundtrip(self, x: np.ndarray, error_bound: Optional[float] = None) -> np.ndarray:
         return self.decompress(self.compress(x, error_bound))

@@ -17,6 +17,7 @@ from repro.core.activation_store import (
     PackedActivation,
 )
 from repro.core.param_store import ParamStore, StoredEntry, StoreSlots
+from repro.core.policy_table import PolicyTable, ResolvedPolicy, compile_matcher
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.framework import CompressedTraining
 from repro.core.policies import CodecPolicy, FixedBoundSZPolicy, RawPolicy
@@ -41,6 +42,9 @@ __all__ = [
     "ParamStore",
     "StoredEntry",
     "StoreSlots",
+    "PolicyTable",
+    "ResolvedPolicy",
+    "compile_matcher",
     "AdaptiveConfig",
     "AdaptiveController",
     "CompressedTraining",

@@ -24,6 +24,14 @@ collection, and the Section 4.4 ReLU-recompute filter;
 :class:`~repro.core.policies.CodecPolicy` is the plain fixed-codec
 baseline.
 
+Both contexts optionally take a
+:class:`~repro.core.policy_table.PolicyTable`: first-match per-layer
+rules resolve each compressible layer to its **own** codec, error-bound
+regime (fixed or adaptive, with per-rule clamps), and storage class
+(arena vs in-process), falling back to the session defaults for
+unmatched layers.  Each pack carries its rule's group label into the
+tracker, so mixed-codec sessions account per rule as well as per layer.
+
 Two storage regimes:
 
 * **In-process** (default): the live compressed object is kept on the
@@ -53,6 +61,7 @@ from repro.compression.registry import loads as _codec_loads
 from repro.core.arena import ByteArena
 from repro.core.engine import CompressionEngine, resolve_engine
 from repro.core.memory_tracker import MemoryTracker
+from repro.core.policy_table import PolicyTable, ResolvedPolicy
 from repro.nn.layers.base import Layer, SavedTensorContext
 
 __all__ = ["BaseCompressionContext", "CompressingContext", "PackedActivation"]
@@ -78,6 +87,9 @@ class PackedActivation:
     released: bool = False
     #: owning layer, for per-layer tracker/statistics keys
     layer_name: str = ""
+    #: policy-rule group label (empty without a PolicyTable) — flows
+    #: into the tracker's per-rule ledger when the pack is finalized
+    policy_label: str = ""
     #: engine plumbing (internal): outstanding pack / prefetch futures
     #: and the handle's slot in the engine's live-order record
     _pack_future: Optional[object] = field(default=None, repr=False)
@@ -105,6 +117,11 @@ class BaseCompressionContext(SavedTensorContext):
     engine:
         ``"sync"`` (default), ``"async"``, or a
         :class:`~repro.core.engine.CompressionEngine` instance.
+    policy_table:
+        Optional :class:`~repro.core.policy_table.PolicyTable` — per-layer
+        first-match rules overriding codec / error bound / storage class
+        for the layers they match; unmatched layers keep the context
+        defaults.
     """
 
     def __init__(
@@ -112,10 +129,16 @@ class BaseCompressionContext(SavedTensorContext):
         tracker: Optional[MemoryTracker] = None,
         storage: Optional[ByteArena] = None,
         engine: Union[CompressionEngine, str, None] = None,
+        policy_table: Optional[PolicyTable] = None,
     ):
         self.tracker = tracker or MemoryTracker()
         self.storage = storage
         self.engine = resolve_engine(engine, self)
+        self.policy_table = policy_table
+        #: layer name -> codec that packed it (written on the training
+        #: thread at submit time, read by engine workers at decompress;
+        #: needed because a PolicyTable makes the codec per-layer)
+        self._layer_codec: Dict[str, object] = {}
         self.enabled = True
         #: optional :class:`~repro.core.param_store.ParamStore` — when the
         #: model's weights are arena-backed too, the async engine's
@@ -138,9 +161,34 @@ class BaseCompressionContext(SavedTensorContext):
         """
         raise NotImplementedError
 
-    def _decompress(self, ct) -> np.ndarray:
-        """Decompress a codec object (thread-safe, deterministic)."""
+    def _decompress(self, ct, layer_name: str = "") -> np.ndarray:
+        """Decompress a codec object (thread-safe, deterministic).
+
+        *layer_name* lets policy-table contexts dispatch to the codec
+        that packed the layer; single-codec contexts may ignore it.
+        """
         raise NotImplementedError
+
+    # -- policy-table plumbing ---------------------------------------------
+    def _policy_for(self, layer_name: str) -> Optional[ResolvedPolicy]:
+        if self.policy_table is None:
+            return None
+        return self.policy_table.resolve(layer_name)
+
+    def _select_codec(self, layer_name: str, default) -> tuple:
+        """``(policy, codec)`` for *layer_name*; records the choice for
+        decompress dispatch.  Called on the submitting thread only."""
+        pol = self._policy_for(layer_name)
+        codec = pol.codec if pol is not None and pol.codec is not None else default
+        self._layer_codec[layer_name] = codec
+        return pol, codec
+
+    def _should_serialize(self, pol: Optional[ResolvedPolicy]) -> bool:
+        """Arena-serialize this pack?  Needs an arena, and the rule (if
+        any) must not pin the layer to in-process storage."""
+        if self.storage is None:
+            return False
+        return pol is None or pol.storage != "inmem"
 
     def _observe_pack(self, handle: PackedActivation, ct, extra) -> None:
         """Record per-layer statistics when a pack is finalized."""
@@ -166,7 +214,12 @@ class BaseCompressionContext(SavedTensorContext):
             handle.stored_nbytes = ct.nbytes
             handle.compressed = ct
         self._observe_pack(handle, ct, extra)
-        self.tracker.record_pack(handle.layer_name, handle.raw_nbytes, handle.stored_nbytes)
+        self.tracker.record_pack(
+            handle.layer_name,
+            handle.raw_nbytes,
+            handle.stored_nbytes,
+            group=handle.policy_label,
+        )
 
     def _materialize(self, handle: PackedActivation) -> np.ndarray:
         """Decompress *handle*, reading arena bytes if necessary.
@@ -178,7 +231,7 @@ class BaseCompressionContext(SavedTensorContext):
         if ct is None:
             ct = self._loads(self.storage.get(handle.arena_key))
             handle.compressed = ct
-        return self._decompress(ct)
+        return self._decompress(ct, handle.layer_name)
 
     # -- release bookkeeping -----------------------------------------------
     def _release(self, handle: PackedActivation) -> None:
@@ -196,6 +249,8 @@ class BaseCompressionContext(SavedTensorContext):
         if not self._should_pack(layer, arr):
             return arr
         handle = PackedActivation(raw_nbytes=arr.nbytes, layer_name=layer.name)
+        if self.policy_table is not None:
+            handle.policy_label = self.policy_table.group_of(layer.name)
         self.engine.submit_pack(handle, self._make_pack_job(layer, arr))
         return handle
 
@@ -235,9 +290,13 @@ class CompressingContext(BaseCompressionContext):
     initial_rel_eb:
         Until the controller assigns a layer an absolute bound, the first
         pack resolves ``eb = initial_rel_eb * value_range`` — a
-        conservative warm-up choice.
-    tracker, storage, engine:
-        See :class:`BaseCompressionContext`.
+        conservative warm-up choice.  A matching policy rule's
+        ``initial_rel_eb`` takes precedence for its layers.
+    tracker, storage, engine, policy_table:
+        See :class:`BaseCompressionContext`.  With a policy table,
+        *compressor* and *initial_rel_eb* become the defaults for layers
+        no rule matches; rules with a fixed ``error_bound`` pin their
+        layers' bound (the adaptive controller skips them).
     """
 
     def __init__(
@@ -247,8 +306,11 @@ class CompressingContext(BaseCompressionContext):
         tracker: Optional[MemoryTracker] = None,
         storage: Optional[ByteArena] = None,
         engine: Union[CompressionEngine, str, None] = None,
+        policy_table: Optional[PolicyTable] = None,
     ):
-        super().__init__(tracker=tracker, storage=storage, engine=engine)
+        super().__init__(
+            tracker=tracker, storage=storage, engine=engine, policy_table=policy_table
+        )
         self.compressor = compressor or SZCompressor(error_bound=1e-3, entropy="huffman")
         if initial_rel_eb <= 0:
             raise ValueError("initial_rel_eb must be positive")
@@ -266,40 +328,60 @@ class CompressingContext(BaseCompressionContext):
         #: under arena storage)
         self.observed_ratio: Dict[str, float] = {}
 
+    def is_adaptive(self, layer_name: str) -> bool:
+        """May the adaptive controller rewrite this layer's bound?
+        False for layers whose policy rule pins a fixed bound."""
+        pol = self._policy_for(layer_name)
+        return pol is None or pol.adaptive
+
     def resolve_error_bound(self, layer: Layer, arr: np.ndarray) -> float:
+        pol = self._policy_for(layer.name)
+        if pol is not None and pol.error_bound is not None:
+            # Rule-pinned absolute bound: recorded so reporting and the
+            # controller's skip logic see one consistent value.
+            self.error_bounds[layer.name] = pol.error_bound
+            return pol.error_bound
         eb = self.error_bounds.get(layer.name)
         if eb is not None:
             return eb
+        rel = (
+            pol.initial_rel_eb
+            if pol is not None and pol.initial_rel_eb is not None
+            else self.initial_rel_eb
+        )
         vrange = float(arr.max() - arr.min())
-        eb = self.initial_rel_eb * vrange if vrange > 0 else self.initial_rel_eb
+        eb = rel * vrange if vrange > 0 else rel
         self.error_bounds[layer.name] = eb
         return eb
 
     # -- BaseCompressionContext hooks --------------------------------------
     def _make_pack_job(self, layer: Layer, arr: np.ndarray) -> Callable[[], tuple]:
-        # The bound is resolved here, on the submitting thread: first-pack
-        # bound assignment mutates per-layer state and must happen in
-        # forward order regardless of the engine.
+        # The bound and the (possibly per-rule) codec are resolved here,
+        # on the submitting thread: first-pack bound assignment mutates
+        # per-layer state and must happen in forward order regardless of
+        # the engine.
         eb = self.resolve_error_bound(layer, arr)
-        serialize = self.storage is not None
+        pol, codec = self._select_codec(layer.name, self.compressor)
+        serialize = self._should_serialize(pol)
         # Per-layer cache keys let a codebook-caching codec amortize its
         # entropy setup across iterations: each conv layer packs once per
         # forward in a fixed order, so per-key cache decisions stay
         # deterministic even under the async engine's worker pool.
-        key = layer.name if getattr(self.compressor, "supports_cache_key", False) else None
+        key = layer.name if getattr(codec, "supports_cache_key", False) else None
 
         def job():
             if key is not None:
-                ct = self.compressor.compress(arr, error_bound=eb, cache_key=key)
+                ct = codec.compress(arr, error_bound=eb, cache_key=key)
             else:
-                ct = self.compressor.compress(arr, error_bound=eb)
+                ct = codec.compress(arr, error_bound=eb)
             nz = float(np.count_nonzero(arr)) / arr.size
             return ct, _codec_dumps(ct) if serialize else None, nz
 
         return job
 
-    def _decompress(self, ct) -> np.ndarray:
-        return self.compressor.decompress(ct)
+    def _decompress(self, ct, layer_name: str = "") -> np.ndarray:
+        codec = self._layer_codec.get(layer_name, self.compressor)
+        return codec.decompress(ct)
 
     def _observe_pack(self, handle: PackedActivation, ct, nz) -> None:
         handle.nonzero_ratio = nz

@@ -14,6 +14,14 @@ coefficient exact.
 
 A short warm-up collects every iteration so compression starts from
 measured statistics rather than guesses.
+
+Under a :class:`~repro.core.policy_table.PolicyTable` the controller
+drives bounds **per rule-group** instead of one global regime: layers
+whose rule pins a fixed ``error_bound`` (``adaptive=False``) are left
+alone entirely, and adaptive rules may override the global
+``eb_min``/``eb_max`` clamps for their layers — so a "tight early
+layers, loose late layers" policy holds even while Eqs. 8–9 keep
+re-deriving the bounds inside each group.
 """
 
 from __future__ import annotations
@@ -92,6 +100,10 @@ class AdaptiveController:
         cfg = self.config
         new_bounds: Dict[str, float] = {}
         for name, lscale in self.loss_scales.items():
+            if not self.ctx.is_adaptive(name):
+                # Rule-pinned fixed bound: this layer belongs to a
+                # non-adaptive policy group and keeps its configured eb.
+                continue
             param = conv_params.get(name)
             sigma = self.assessor.sigma_budget(param)
             if sigma <= 0:
@@ -104,8 +116,26 @@ class AdaptiveController:
             eb = error_bound_for_sigma(
                 sigma, lscale, m, nonzero_ratio=r, coefficient=cfg.coefficient
             )
-            eb = float(np.clip(eb, cfg.eb_min, cfg.eb_max))
+            lo, hi = self._clamps_for(name)
+            eb = float(np.clip(eb, lo, hi))
             new_bounds[name] = eb
             self.ctx.error_bounds[name] = eb
         self.updates += 1
         return new_bounds
+
+    def _clamps_for(self, layer_name: str) -> "tuple[float, float]":
+        """(eb_min, eb_max) for *layer_name*: the layer's policy rule may
+        override the global clamps for its group."""
+        cfg = self.config
+        table = getattr(self.ctx, "policy_table", None)
+        pol = table.resolve(layer_name) if table is not None else None
+        if pol is None:
+            return cfg.eb_min, cfg.eb_max
+        lo = pol.eb_min if pol.eb_min is not None else cfg.eb_min
+        hi = pol.eb_max if pol.eb_max is not None else cfg.eb_max
+        if hi <= lo:
+            raise ValueError(
+                f"rule {pol.label!r}: eb clamps invalid for layer {layer_name!r} "
+                f"(eb_min={lo} >= eb_max={hi})"
+            )
+        return lo, hi

@@ -301,7 +301,9 @@ class AsyncEngine(CompressionEngine):
                 # get() consumes the staged copy when the stage-ahead
                 # window already read the spill file back into memory.
                 ct = self._ctx._loads(self._ctx.storage.get(handle.arena_key))
-            out = self._ctx._decompress(ct)
+            # The layer name rides along so policy-table contexts can
+            # dispatch to the codec that packed this layer.
+            out = self._ctx._decompress(ct, handle.layer_name)
             if self.adaptive_prefetch:
                 self._update_ema("_job_ema", time.perf_counter() - t0)
             return ct, out

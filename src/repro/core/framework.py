@@ -43,6 +43,17 @@ Usage::
     trainer.train(batches(...))
     print(session.tracker.overall_ratio)
     trainer.close()  # or session.close(): stops the engine's workers
+
+.. note::
+   New code should prefer the declarative front door,
+   :func:`repro.api.build_session`: one serializable
+   :class:`~repro.api.config.SessionConfig` composes the codec,
+   per-layer policy rules, storage, engine, adaptive controller, and
+   profiler, and round-trips through JSON for reproducible runs.
+   ``CompressedTraining(...)`` remains supported as a thin shim — its
+   declarative arguments are normalized into the same config tree
+   (exposed as :attr:`CompressedTraining.session_config`) and the two
+   construction paths are equivalence-tested bit-for-bit.
 """
 
 from __future__ import annotations
@@ -60,6 +71,7 @@ from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.gradient_assessment import GradientAssessor
 from repro.core.memory_tracker import MemoryTracker
 from repro.core.param_store import ParamStore
+from repro.core.policy_table import PolicyTable
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.layers.conv import Conv2D
 from repro.nn.network import iter_layers, set_saved_ctx
@@ -106,6 +118,18 @@ class CompressedTraining:
         :class:`~repro.core.engine.CompressionEngine` instance — whether
         pack/unpack run inline or overlap compute on a worker pool with
         reverse-order prefetch (bit-identical results either way).
+    policy_table:
+        Optional :class:`~repro.core.policy_table.PolicyTable` — per-layer
+        first-match rules giving matched layers their own codec, error
+        bound (fixed or adaptive with per-rule clamps), and storage
+        class; *compressor* and the adaptive regime stay the defaults
+        for unmatched layers.  Usually built declaratively through
+        :func:`repro.api.build_session`.
+    adaptive:
+        ``False`` disables the Eq. 8/9 controller entirely: every layer
+        keeps its warm-up or rule-pinned bound and no per-iteration
+        statistics are collected.  (The api layer's
+        ``AdaptiveSpec(enabled=False)`` maps here.)
     """
 
     def __init__(
@@ -118,11 +142,23 @@ class CompressedTraining:
         storage: Optional[ByteArena] = None,
         param_storage: Union[ParamStore, ByteArena, None] = None,
         engine: Union[CompressionEngine, str, None] = None,
+        policy_table: Optional[PolicyTable] = None,
+        adaptive: bool = True,
     ):
         self.network = network
         self.optimizer = optimizer
         self.config = config or AdaptiveConfig(W=50)
         self.tracker = tracker or MemoryTracker()
+        #: the declarative arguments this shim was called with, kept so
+        #: :attr:`session_config` can rebuild the equivalent SessionConfig
+        self._shim_args = {
+            "compressor": compressor,
+            "storage": storage,
+            "param_storage": param_storage,
+            "engine": engine,
+            "policy_table": policy_table,
+        }
+        self.adaptive_enabled = bool(adaptive)
         if isinstance(compressor, str):
             compressor = get_codec(compressor)
         self.ctx = CompressingContext(
@@ -131,6 +167,7 @@ class CompressedTraining:
             tracker=self.tracker,
             storage=storage,
             engine=engine,
+            policy_table=policy_table,
         )
         #: the resolved execution strategy (SyncEngine / AsyncEngine)
         self.engine = self.ctx.engine
@@ -147,7 +184,9 @@ class CompressedTraining:
         #: conv layer name -> its weight Parameter (per-layer momentum)
         self.conv_params: Dict[str, Parameter] = {}
         self._install_taps()
-        self._collect_next = True  # warm-up: collect from iteration 0
+        # warm-up: collect from iteration 0 (never when the controller
+        # is disabled — fixed/rule-pinned bounds need no statistics)
+        self._collect_next = self.adaptive_enabled
 
         #: optional out-of-core parameter/optimizer state (the tentpole
         #: knob): attach AFTER the taps so the JIT bind wrapper is
@@ -239,9 +278,36 @@ class CompressedTraining:
                 record.extras["mean_error_bound"] = float(
                     np.mean(list(new_bounds.values()))
                 )
-        self._collect_next = self.controller.should_collect(trainer.iteration + 1)
+        self._collect_next = self.adaptive_enabled and self.controller.should_collect(
+            trainer.iteration + 1
+        )
 
     # -- reporting -----------------------------------------------------------
+    @property
+    def session_config(self):
+        """The :class:`~repro.api.config.SessionConfig` equivalent to this
+        session's declarative arguments, or ``None`` when the session was
+        built from live objects the config schema cannot describe (a
+        custom codec instance outside the registry, a hand-built engine,
+        a policy table without declarative source rules).
+
+        ``build_session(network, session.session_config)`` on a fresh
+        network reproduces this session bit-for-bit — the equivalence the
+        shim tests pin.
+        """
+        from repro.api.config import capture_session_config
+
+        return capture_session_config(
+            compressor=self._shim_args["compressor"],
+            adaptive_config=self.config,
+            adaptive_enabled=self.adaptive_enabled,
+            storage=self._shim_args["storage"],
+            param_storage=self._shim_args["param_storage"],
+            engine=self._shim_args["engine"],
+            policy_table=self._shim_args["policy_table"],
+            optimizer=self.optimizer,
+        )
+
     @property
     def error_bounds(self) -> Dict[str, float]:
         return dict(self.ctx.error_bounds)

@@ -11,6 +11,12 @@ optimizer slots (:mod:`repro.core.param_store`).  Persistent entries are
 charged on adopt/write-back, credited exactly once on release, survive
 :meth:`MemoryTracker.end_iteration`, and count toward the peak byte
 watermarks next to the live activation bytes.
+
+When the session runs under a :class:`~repro.core.policy_table.PolicyTable`
+(per-layer codec/error-bound rules), every pack also carries its rule's
+group label and the tracker keeps a parallel **per-group** ledger —
+``per_group`` / :meth:`group_summary` — so a mixed-codec session reports
+raw-vs-stored bytes per policy rule, not just per layer.
 """
 
 from __future__ import annotations
@@ -38,6 +44,9 @@ class MemoryTracker:
 
     def __init__(self):
         self.per_layer: Dict[str, LayerMemoryRecord] = {}
+        #: policy-rule group label -> cumulative record (only populated
+        #: when packs are recorded with a group, i.e. under a PolicyTable)
+        self.per_group: Dict[str, LayerMemoryRecord] = {}
         self._iter_raw = 0
         self._iter_stored = 0
         self.iteration_ratios: List[float] = []
@@ -58,11 +67,18 @@ class MemoryTracker:
             self.peak_stored_bytes, self._live_stored + self.persistent_stored_bytes
         )
 
-    def record_pack(self, layer_name: str, raw_bytes: int, stored_bytes: int) -> None:
+    def record_pack(
+        self, layer_name: str, raw_bytes: int, stored_bytes: int, group: str = ""
+    ) -> None:
         rec = self.per_layer.setdefault(layer_name, LayerMemoryRecord(layer_name))
         rec.raw_bytes += raw_bytes
         rec.stored_bytes += stored_bytes
         rec.packs += 1
+        if group:
+            grec = self.per_group.setdefault(group, LayerMemoryRecord(group))
+            grec.raw_bytes += raw_bytes
+            grec.stored_bytes += stored_bytes
+            grec.packs += 1
         self._iter_raw += raw_bytes
         self._iter_stored += stored_bytes
         self._live_raw += raw_bytes
@@ -111,3 +127,7 @@ class MemoryTracker:
 
     def summary(self) -> List[LayerMemoryRecord]:
         return sorted(self.per_layer.values(), key=lambda r: r.layer_name)
+
+    def group_summary(self) -> List[LayerMemoryRecord]:
+        """Per-policy-rule cumulative records (empty without a table)."""
+        return sorted(self.per_group.values(), key=lambda r: r.layer_name)

@@ -107,6 +107,11 @@ class ParamStore:
     budget_bytes:
         In-memory budget for a store-owned arena; entries beyond it
         spill to disk and are read back (or prefetched) on demand.
+    spill_dir:
+        Spill directory for a store-owned arena (``None`` = a private
+        temp dir).  Declarative configs (``StorageSpec.spill_dir``)
+        route here so param and activation spill files can share one
+        operator-chosen location.
     codec:
         ``None`` (default) stores raw ``tobytes()`` — zero codec cost,
         bit-exact trivially.  A registry key or :class:`Codec` instance
@@ -130,9 +135,14 @@ class ParamStore:
         codec: Union[Codec, str, None] = None,
         tracker: Optional[MemoryTracker] = None,
         dirty_tracking: bool = True,
+        spill_dir: Optional[str] = None,
     ):
         self._owns_storage = storage is None
-        self.storage = storage if storage is not None else ByteArena(budget_bytes=budget_bytes)
+        self.storage = (
+            storage
+            if storage is not None
+            else ByteArena(budget_bytes=budget_bytes, spill_dir=spill_dir)
+        )
         if isinstance(codec, str):
             codec = get_codec(codec)
         if codec is not None and not getattr(codec, "lossless", False):

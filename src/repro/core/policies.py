@@ -33,6 +33,7 @@ from repro.core.activation_store import BaseCompressionContext
 from repro.core.arena import ByteArena
 from repro.core.engine import CompressionEngine
 from repro.core.memory_tracker import MemoryTracker
+from repro.core.policy_table import PolicyTable
 from repro.nn.layers.base import Layer, SavedTensorContext
 
 __all__ = ["RawPolicy", "CodecPolicy", "FixedBoundSZPolicy"]
@@ -62,7 +63,10 @@ class CodecPolicy(BaseCompressionContext):
     and the compressed object must expose ``nbytes``.  Arena storage
     additionally requires the compressed object to be serializable by
     :func:`repro.compression.registry.dumps` (true for every registry
-    codec).
+    codec).  A :class:`~repro.core.policy_table.PolicyTable` makes the
+    codec and storage class per-layer: matched layers use their rule's
+    codec (and may pin in-process storage under an arena session), with
+    *codec* as the fallback for the rest.
     """
 
     def __init__(
@@ -71,30 +75,38 @@ class CodecPolicy(BaseCompressionContext):
         tracker: Optional[MemoryTracker] = None,
         storage: Optional[ByteArena] = None,
         engine: Union[CompressionEngine, str, None] = None,
+        policy_table: Optional[PolicyTable] = None,
     ):
         if not (hasattr(codec, "compress") and hasattr(codec, "decompress")):
             raise TypeError("codec must provide compress()/decompress()")
-        super().__init__(tracker=tracker, storage=storage, engine=engine)
+        super().__init__(
+            tracker=tracker, storage=storage, engine=engine, policy_table=policy_table
+        )
         self.codec = codec
 
     def _make_pack_job(self, layer: Layer, arr: np.ndarray) -> Callable[[], tuple]:
-        serialize = self.storage is not None
+        pol, codec = self._select_codec(layer.name, self.codec)
+        serialize = self._should_serialize(pol)
+        eb = pol.error_bound if pol is not None else None
         # Per-layer keys flow to codebook-caching codecs here too, so the
         # fixed-bound SZ baseline amortizes its entropy stage the same way
         # the adaptive context does.
-        key = layer.name if getattr(self.codec, "supports_cache_key", False) else None
+        key = layer.name if getattr(codec, "supports_cache_key", False) else None
 
         def job():
+            kwargs = {}
             if key is not None:
-                ct = self.codec.compress(arr, cache_key=key)
-            else:
-                ct = self.codec.compress(arr)
+                kwargs["cache_key"] = key
+            if eb is not None:
+                kwargs["error_bound"] = eb
+            ct = codec.compress(arr, **kwargs)
             return ct, _codec_dumps(ct) if serialize else None, None
 
         return job
 
-    def _decompress(self, ct) -> np.ndarray:
-        return self.codec.decompress(ct)
+    def _decompress(self, ct, layer_name: str = "") -> np.ndarray:
+        codec = self._layer_codec.get(layer_name, self.codec)
+        return codec.decompress(ct)
 
 
 class FixedBoundSZPolicy(CodecPolicy):
@@ -108,8 +120,11 @@ class FixedBoundSZPolicy(CodecPolicy):
         zero_filter: bool = True,
         storage: Optional[ByteArena] = None,
         engine: Union[CompressionEngine, str, None] = None,
+        policy_table: Optional[PolicyTable] = None,
     ):
         codec = SZCompressor(
             error_bound=error_bound, entropy=entropy, zero_filter=zero_filter
         )
-        super().__init__(codec, tracker, storage=storage, engine=engine)
+        super().__init__(
+            codec, tracker, storage=storage, engine=engine, policy_table=policy_table
+        )

@@ -1,0 +1,155 @@
+"""Per-layer compression policy resolution: the PolicyTable.
+
+Four PRs of growth left the framework with one global codec, one global
+error-bound regime, and one global storage class for every compressible
+layer.  Real cuSZ-style deployments tune per field: early conv layers
+(large, smooth activations) tolerate loose bounds and cheap codecs,
+late layers (small, gradient-critical) want tight bounds or lossless
+treatment.  The :class:`PolicyTable` makes that a first-class concept in
+the saved-tensor layer:
+
+* A table is an ordered list of ``(matcher, ResolvedPolicy)`` pairs.
+  ``matcher`` is any ``Callable[[str], bool]`` over layer names —
+  typically an :func:`fnmatch.fnmatch` glob compiled by
+  :func:`compile_matcher`, but arbitrary predicates work too.
+* Resolution is **first match wins**, cached per layer name (layer sets
+  are static for a session, so the cache never invalidates).
+* A layer no rule matches falls back to the owning context's defaults
+  (session codec, adaptive error bound, session storage class), exactly
+  the pre-table behaviour.
+
+The table is deliberately declarative-friendly: the ``repro.api``
+package builds one from serializable :class:`~repro.api.config.PolicyRule`
+specs, but nothing here depends on the api layer — contexts in
+:mod:`repro.core.activation_store` consume the table directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ResolvedPolicy", "PolicyTable", "compile_matcher"]
+
+#: group label reported for layers no rule matches
+DEFAULT_GROUP = "default"
+
+
+def compile_matcher(pattern: str) -> Callable[[str], bool]:
+    """Compile a glob *pattern* into a layer-name predicate.
+
+    Uses :func:`fnmatch.fnmatchcase` (case-sensitive: layer names are
+    identifiers, not filenames).  ``"l*"`` matches every default layer
+    name; ``"l0"`` matches exactly one; ``"l[01]"`` a character class.
+    """
+    if not isinstance(pattern, str) or not pattern:
+        raise ValueError(f"glob pattern must be a non-empty string, got {pattern!r}")
+    return lambda name: fnmatchcase(name, pattern)
+
+
+@dataclass
+class ResolvedPolicy:
+    """What one rule prescribes for the layers it matches.
+
+    ``None`` fields mean "inherit the session default" — the contexts
+    interpret them, the table just carries them.
+    """
+
+    #: rule label, used as the tracker's per-rule accounting group
+    label: str
+    #: codec instance for matched layers (None = session default codec).
+    #: One instance is shared by every layer the rule matches, so
+    #: stateful codecs (codebook caches, worker pools) amortize across
+    #: the group.
+    codec: Optional[object] = None
+    #: fixed absolute error bound (None = adaptive / codec default)
+    error_bound: Optional[float] = None
+    #: False pins matched layers to their rule bound — the adaptive
+    #: controller leaves them alone
+    adaptive: bool = True
+    #: "arena" | "inmem" | None (inherit session storage class)
+    storage: Optional[str] = None
+    #: per-rule warm-up relative bound and clamp overrides for the
+    #: adaptive controller (None = the AdaptiveConfig globals)
+    initial_rel_eb: Optional[float] = None
+    eb_min: Optional[float] = None
+    eb_max: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.label:
+            raise ValueError("ResolvedPolicy needs a non-empty label")
+        if self.error_bound is not None and self.error_bound <= 0:
+            raise ValueError(
+                f"rule {self.label!r}: error_bound must be positive, "
+                f"got {self.error_bound}"
+            )
+        if self.storage not in (None, "arena", "inmem"):
+            raise ValueError(
+                f"rule {self.label!r}: storage must be 'arena', 'inmem', or None, "
+                f"got {self.storage!r}"
+            )
+        for attr in ("initial_rel_eb", "eb_min", "eb_max"):
+            v = getattr(self, attr)
+            if v is not None and v <= 0:
+                raise ValueError(f"rule {self.label!r}: {attr} must be positive, got {v}")
+
+
+class PolicyTable:
+    """Ordered first-match layer-name → :class:`ResolvedPolicy` lookup."""
+
+    def __init__(
+        self, rules: Sequence[Tuple[Callable[[str], bool], ResolvedPolicy]] = ()
+    ):
+        seen: set = set()
+        for matcher, policy in rules:
+            if not callable(matcher):
+                raise TypeError(
+                    f"rule {policy.label!r}: matcher must be callable, "
+                    f"got {type(matcher).__name__}"
+                )
+            if policy.label in seen:
+                raise ValueError(f"duplicate rule label {policy.label!r}")
+            seen.add(policy.label)
+        self._rules: List[Tuple[Callable[[str], bool], ResolvedPolicy]] = list(rules)
+        self._cache: Dict[str, Optional[ResolvedPolicy]] = {}
+
+    @property
+    def rules(self) -> Tuple[ResolvedPolicy, ...]:
+        return tuple(policy for _, policy in self._rules)
+
+    def resolve(self, layer_name: str) -> Optional[ResolvedPolicy]:
+        """First matching rule's policy, or None (session defaults)."""
+        try:
+            return self._cache[layer_name]
+        except KeyError:
+            pass
+        hit = None
+        for matcher, policy in self._rules:
+            if matcher(layer_name):
+                hit = policy
+                break
+        self._cache[layer_name] = hit
+        return hit
+
+    def group_of(self, layer_name: str) -> str:
+        """Accounting-group label for *layer_name* (``"default"`` when
+        no rule matches)."""
+        pol = self.resolve(layer_name)
+        return pol.label if pol is not None else DEFAULT_GROUP
+
+    def coverage(self, layer_names: Sequence[str]) -> Dict[str, List[str]]:
+        """``{rule label: [matched layers]}`` over *layer_names* —
+        unmatched layers land under ``"default"``.  Diagnostic helper
+        for validation messages and tests."""
+        out: Dict[str, List[str]] = {p.label: [] for _, p in self._rules}
+        out.setdefault(DEFAULT_GROUP, [])
+        for name in layer_names:
+            out[self.group_of(name)].append(name)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        return f"PolicyTable({[p.label for _, p in self._rules]})"

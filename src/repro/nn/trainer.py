@@ -94,6 +94,16 @@ class Trainer:
         process-wide for the trainer's lifetime (deactivated by
         :meth:`close`) and exposed as ``trainer.profiler``; read it with
         ``trainer.profiler.snapshot()`` or ``.report_lines()``.
+
+    .. note::
+       The ``param_store`` / ``profiler`` knobs (and the compression
+       session attached on top) are also expressible declaratively:
+       :func:`repro.api.build_session` composes the same machinery from
+       one serializable :class:`~repro.api.config.SessionConfig`, which
+       is the preferred front door for new code.  A trainer built with
+       these knobs exposes the equivalent config as
+       :attr:`session_config`, and the two paths are equivalence-tested
+       bit-for-bit.
     """
 
     def __init__(
@@ -130,6 +140,24 @@ class Trainer:
         if param_store is not None:
             param_store.attach(network, optimizer)
             self.close_hooks.append(lambda tr: param_store.close())
+
+    @property
+    def session_config(self):
+        """The :class:`~repro.api.config.SessionConfig` equivalent to
+        this bare trainer (``compress_activations=False``, plus any
+        param store / profiler knobs), or ``None`` when a knob cannot be
+        described declaratively.  ``build_session(net,
+        trainer.session_config)`` reproduces the trainer bit-for-bit."""
+        from repro.api.config import capture_session_config
+
+        cfg = capture_session_config(
+            param_storage=self.param_store, optimizer=self.optimizer
+        )
+        if cfg is None:
+            return None
+        cfg.compress_activations = False
+        cfg.profiler.enabled = self.profiler is not None
+        return cfg
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> IterationRecord:
         """One forward/backward/update iteration; returns its record."""

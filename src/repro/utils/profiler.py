@@ -92,6 +92,19 @@ class StageProfiler:
             self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
             self._calls[name] = self._calls.get(name, 0) + 1
 
+    def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Used to carry stage timings across a process boundary: pool
+        workers (e.g. ``ChunkedCodec(executor="process")``) time their
+        stages under a child-local profiler, return the snapshot with
+        the result, and the parent merges it here.
+        """
+        with self._lock:
+            for name, rec in snapshot.items():
+                self._seconds[name] = self._seconds.get(name, 0.0) + float(rec["seconds"])
+                self._calls[name] = self._calls.get(name, 0) + int(rec["calls"])
+
     # -- reporting ---------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """``{stage: {"seconds": total, "calls": n}}`` at this instant."""

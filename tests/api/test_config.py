@@ -1,0 +1,215 @@
+"""SessionConfig serialization, validation, and codec-spec round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AdaptiveSpec,
+    CodecSpec,
+    ConfigError,
+    EngineSpec,
+    OptimizerSpec,
+    PolicyRule,
+    SessionConfig,
+    StorageSpec,
+)
+from repro.compression.registry import get_codec, spec_of
+
+
+class TestRoundTrip:
+    def test_default_config_is_empty_dict(self):
+        assert SessionConfig().to_dict() == {}
+
+    def test_dict_round_trip_identity(self):
+        cfg = SessionConfig(
+            codec=CodecSpec("szlike", {"entropy": "zlib", "error_bound": 1e-4}),
+            rules=[
+                PolicyRule(match="l0", codec=CodecSpec("lossless"), label="a"),
+                PolicyRule(match="l[24]", error_bound=2e-4, label="b",
+                           eb_min=1e-6, eb_max=1e-2),
+                PolicyRule(match="l*", storage="inmem", initial_rel_eb=1e-2),
+            ],
+            storage=StorageSpec(activations="arena", budget_bytes=1 << 20,
+                                params="arena", param_budget_bytes=1 << 18,
+                                param_codec=CodecSpec("lossless")),
+            engine=EngineSpec(kind="async", workers=3, prefetch_depth="auto"),
+            adaptive=AdaptiveSpec(W=25, warmup_iterations=3, eb_max=0.5),
+            optimizer=OptimizerSpec(kind="adam", lr=1e-3,
+                                    options={"betas": [0.9, 0.99], "eps": 1e-7}),
+        )
+        d = cfg.to_dict()
+        assert SessionConfig.from_dict(d).to_dict() == d
+
+    def test_json_round_trip_identity(self, tmp_path):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l1?", error_bound=1e-3)],
+            engine=EngineSpec(kind="async"),
+        )
+        path = tmp_path / "cfg.json"
+        cfg.to_json(str(path))
+        assert SessionConfig.from_json(str(path)).to_dict() == cfg.to_dict()
+        # and from a raw JSON string
+        assert SessionConfig.from_json(cfg.to_json()).to_dict() == cfg.to_dict()
+
+    def test_sparse_serialization_omits_defaults(self):
+        d = SessionConfig(engine=EngineSpec(kind="async")).to_dict()
+        assert d == {"engine": {"kind": "async"}}
+
+    def test_committed_mixed_policy_config_round_trips(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "configs",
+            "mixed_policy_vgg.json",
+        )
+        cfg = SessionConfig.from_json(path)
+        assert len(cfg.rules) == 3
+        # two genuinely distinct codec families and distinct bound regimes
+        names = {r.codec.name for r in cfg.rules if r.codec is not None}
+        assert len(names) >= 2
+        assert SessionConfig.from_json(cfg.to_json()).to_dict() == cfg.to_dict()
+
+
+class TestValidation:
+    def test_unknown_codec_lists_available(self):
+        with pytest.raises(ConfigError, match="available: .*szlike"):
+            CodecSpec("szlik").validate()
+
+    def test_unknown_key_names_section_and_accepted_keys(self):
+        with pytest.raises(ConfigError, match="engine: unknown key.*'worker'.*workers"):
+            SessionConfig.from_dict({"engine": {"worker": 3}})
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ConfigError, match="session: unknown key"):
+            SessionConfig.from_dict({"codecs": {}})
+
+    def test_rule_errors_name_the_rule(self):
+        with pytest.raises(ConfigError, match=r"rules\[1\].*error_bound must be positive"):
+            SessionConfig.from_dict(
+                {"rules": [{"match": "l0"}, {"match": "l1", "error_bound": -1.0}]}
+            )
+
+    def test_fixed_bound_contradicts_adaptive(self):
+        with pytest.raises(ConfigError, match="adaptive=True contradicts"):
+            PolicyRule(match="l0", error_bound=1e-3, adaptive=True).validate()
+
+    def test_rule_arena_storage_requires_session_arena(self):
+        cfg = SessionConfig(rules=[PolicyRule(match="l0", storage="arena")])
+        with pytest.raises(ConfigError, match="storage.activations='arena'"):
+            cfg.validate()
+
+    def test_lossy_param_codec_rejected(self):
+        with pytest.raises(ConfigError, match="lossy"):
+            StorageSpec(params="arena", param_codec=CodecSpec("jpeg")).validate()
+
+    def test_duplicate_rule_labels_rejected(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="a", label="x"), PolicyRule(match="b", label="x")]
+        )
+        with pytest.raises(ConfigError, match="duplicate rule label"):
+            cfg.validate()
+
+    def test_bad_engine_kind(self):
+        with pytest.raises(ConfigError, match="'sync' or 'async'"):
+            EngineSpec(kind="turbo").validate()
+
+    def test_live_objects_in_options_rejected(self):
+        with pytest.raises(ConfigError, match="JSON-serializable"):
+            CodecSpec("szlike", {"rng": object()}).validate()
+
+    def test_missing_config_file(self):
+        with pytest.raises(ConfigError, match="does not exist"):
+            SessionConfig.from_json("/nonexistent/run.json")
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            SessionConfig.from_json("{not json]")
+
+
+class TestCodecSpecOf:
+    """spec_of is the inverse of get_codec for every registry family."""
+
+    @pytest.mark.parametrize(
+        "name,options",
+        [
+            ("szlike", {}),
+            ("szlike", {"error_bound": 1e-4, "entropy": "zlib", "zero_filter": False}),
+            ("szlike", {"codebook_cache": True, "codebook_refresh": 16}),
+            ("jpeg", {"quality": 75}),
+            ("lossless", {"level": 3}),
+            ("sparse-lossless", {}),
+            ("chunked", {"inner": "szlike", "workers": 2, "error_bound": 1e-3}),
+        ],
+    )
+    def test_spec_of_round_trip(self, name, options):
+        codec = get_codec(name, **options)
+        spec = spec_of(codec)
+        rebuilt = get_codec(spec["name"], **spec["options"])
+        assert spec_of(rebuilt) == spec
+
+    def test_spec_of_unknown_type_is_actionable(self):
+        with pytest.raises(TypeError, match="registry codec"):
+            spec_of(object())
+
+    def test_spec_of_refuses_ablation_mode(self):
+        with pytest.raises(ValueError, match="ablation"):
+            spec_of(get_codec("szlike", emulate_zero_drift=True))
+
+    def test_codec_spec_build_matches_get_codec(self):
+        codec = CodecSpec("szlike", {"error_bound": 5e-4}).build()
+        assert codec.error_bound == 5e-4
+
+
+class TestReviewRegressions:
+    """Pin the load-time-vs-runtime validation fixes."""
+
+    def test_partial_rule_clamp_conflict_fails_at_load_time(self):
+        # rule eb_min above the session's global eb_max would only have
+        # exploded at the controller's first update; must fail in validate
+        cfg = SessionConfig(rules=[PolicyRule(match="l*", eb_min=20.0)])
+        with pytest.raises(ConfigError, match="effective eb clamps are inverted"):
+            cfg.validate()
+        # and a rule override that restores a valid pair passes
+        SessionConfig(rules=[PolicyRule(match="l*", eb_min=20.0, eb_max=30.0)]).validate()
+
+    def test_engine_integer_knobs_validated(self):
+        with pytest.raises(ConfigError, match="prefetch_depth"):
+            SessionConfig.from_dict({"engine": {"kind": "async", "prefetch_depth": -3}})
+        with pytest.raises(ConfigError, match="max_pending"):
+            SessionConfig.from_dict({"engine": {"kind": "async", "max_pending": 0}})
+        with pytest.raises(ConfigError, match="max_auto_depth"):
+            SessionConfig.from_dict({"engine": {"kind": "async", "max_auto_depth": 0}})
+
+    def test_adaptive_coefficient_round_trips(self):
+        from repro.api import capture_session_config
+        from repro.core import AdaptiveConfig
+
+        cfg = capture_session_config(
+            adaptive_config=AdaptiveConfig(W=10, coefficient=0.5)
+        )
+        assert cfg is not None
+        assert cfg.adaptive.coefficient == 0.5
+        rebuilt = SessionConfig.from_json(cfg.to_json())
+        assert rebuilt.adaptive.to_adaptive_config().coefficient == 0.5
+
+    def test_default_coefficient_stays_sparse(self):
+        from repro.core.error_model import THEORY_COEFFICIENT_A
+
+        d = SessionConfig(adaptive=AdaptiveSpec(W=10)).to_dict()
+        assert "coefficient" not in d["adaptive"]
+        assert AdaptiveSpec().coefficient == float(THEORY_COEFFICIENT_A)
+
+    def test_param_codec_probe_does_not_leak_a_pool(self):
+        # validating a process-executor chunked param codec must close
+        # the probe instance's eagerly-forked pool
+        spec = StorageSpec(
+            params="arena",
+            param_codec=CodecSpec("chunked", {"inner": "lossless", "workers": 2,
+                                              "executor": "process"}),
+        )
+        import multiprocessing
+
+        before = len(multiprocessing.active_children())
+        spec.validate()
+        assert len(multiprocessing.active_children()) == before

@@ -1,0 +1,353 @@
+"""build_session equivalence contracts.
+
+Three things are pinned here:
+
+1. **Config == hand-wired**: a session built from a SessionConfig trains
+   bit-identically to the equivalent legacy ``Trainer`` +
+   ``CompressedTraining`` pair (the shims really are shims).
+2. **JSON == programmatic**: ``to_json -> from_json -> build_session``
+   changes nothing — a committed file reproduces a run.
+3. **Per-layer policies behave**: rules resolve the right codec / bound /
+   storage per layer, fixed bounds survive the adaptive controller,
+   per-rule accounting lands in the tracker.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdaptiveSpec,
+    CodecSpec,
+    EngineSpec,
+    OptimizerSpec,
+    PolicyRule,
+    ProfilerSpec,
+    SessionConfig,
+    StorageSpec,
+    build_session,
+)
+from repro.compression.lossless import LosslessCompressedTensor
+from repro.compression.szlike import CompressedTensor
+from repro.core import AdaptiveConfig, CompressedTraining, ParamStore
+from repro.models import build_scaled_model
+from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+MIXED_CONFIG = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "configs",
+    "mixed_policy_vgg.json",
+)
+
+
+def make_net(model="alexnet", seed=42, image_size=16):
+    return build_scaled_model(model, num_classes=8, image_size=image_size, rng=seed)
+
+
+def run(session_or_trainer, iters=5, batch=4, image_size=16, data_seed=7):
+    dataset = SyntheticImageDataset(
+        num_classes=8, image_size=image_size, signal=0.4, seed=data_seed
+    )
+    session_or_trainer.train(batches(dataset, batch, iters, seed=1))
+    return session_or_trainer.history.losses
+
+
+class TestShimEquivalence:
+    def test_default_config_matches_legacy_compressed_training(self):
+        with build_session(make_net(), SessionConfig(
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2)
+        )) as s:
+            losses_cfg = run(s)
+            ratios_cfg = list(s.tracker.iteration_ratios)
+            bounds_cfg = dict(s.error_bounds)
+
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        trainer = Trainer(net, opt)
+        legacy = CompressedTraining(
+            net, opt, config=AdaptiveConfig(W=10, warmup_iterations=2)
+        ).attach(trainer)
+        losses_legacy = run(trainer)
+        trainer.close()
+
+        np.testing.assert_array_equal(losses_cfg, losses_legacy)
+        assert ratios_cfg == legacy.tracker.iteration_ratios
+        assert bounds_cfg == legacy.error_bounds
+
+    def test_legacy_session_config_twin_reproduces_bit_identically(self):
+        """CompressedTraining(...) builds a SessionConfig internally;
+        feeding it back through build_session is the same run."""
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        trainer = Trainer(net, opt)
+        legacy = CompressedTraining(
+            net, opt,
+            compressor="szlike",
+            config=AdaptiveConfig(W=10, warmup_iterations=2),
+            engine="async",
+        ).attach(trainer)
+        losses_legacy = run(trainer)
+        trainer.close()
+
+        twin = legacy.session_config
+        assert twin is not None
+        # the twin itself serializes
+        twin2 = SessionConfig.from_json(twin.to_json())
+        with build_session(make_net(), twin2) as s:
+            np.testing.assert_array_equal(run(s), losses_legacy)
+            assert s.tracker.iteration_ratios == legacy.tracker.iteration_ratios
+
+    def test_trainer_shim_config_twin(self):
+        """Bare Trainer(param_store=..., profiler=True) == its config."""
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        trainer = Trainer(
+            net, opt, param_store=ParamStore(budget_bytes=64 << 10), profiler=True
+        )
+        twin = trainer.session_config
+        assert twin is not None
+        assert twin.compress_activations is False
+        assert twin.storage.params == "arena"
+        assert twin.profiler.enabled is True
+        losses_legacy = run(trainer)
+        trainer.close()
+
+        with build_session(make_net(), twin) as s:
+            np.testing.assert_array_equal(run(s), losses_legacy)
+            assert s.compressed is None
+            assert s.param_store is not None
+            assert s.profiler is not None
+            assert s.profiler.total_seconds("step") > 0
+
+    def test_non_declarative_sessions_have_no_config_twin(self):
+        class WeirdCodec:
+            error_bounded = False
+            lossless = True
+
+            def compress(self, x, error_bound=None):
+                raise NotImplementedError
+
+            def decompress(self, ct):
+                raise NotImplementedError
+
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        legacy = CompressedTraining(net, opt, compressor=WeirdCodec())
+        assert legacy.session_config is None
+        legacy.close()
+
+    def test_out_of_core_param_config_matches_legacy(self):
+        cfg = SessionConfig(
+            storage=StorageSpec(params="arena", param_budget_bytes=64 << 10),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            losses_cfg = run(s)
+            assert s.param_store is not None
+            assert s.param_store.fetch_count > 0
+
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        trainer = Trainer(net, opt)
+        CompressedTraining(
+            net, opt,
+            config=AdaptiveConfig(W=10, warmup_iterations=2),
+            param_storage=ParamStore(budget_bytes=64 << 10),
+        ).attach(trainer)
+        losses_legacy = run(trainer)
+        trainer.close()
+        np.testing.assert_array_equal(losses_cfg, losses_legacy)
+
+
+class TestJsonReproducibility:
+    def test_json_round_trip_trains_bit_identically(self):
+        cfg = SessionConfig(
+            codec=CodecSpec("szlike", {"entropy": "zlib"}),
+            rules=[PolicyRule(match="l0", error_bound=1e-3)],
+            storage=StorageSpec(activations="arena", budget_bytes=1 << 20),
+            engine=EngineSpec(kind="async"),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s1:
+            losses_direct = run(s1)
+            ratios_direct = list(s1.tracker.iteration_ratios)
+
+        with build_session(make_net(), SessionConfig.from_json(cfg.to_json())) as s2:
+            np.testing.assert_array_equal(run(s2), losses_direct)
+            assert list(s2.tracker.iteration_ratios) == ratios_direct
+
+    def test_committed_mixed_policy_config_acceptance(self):
+        """The acceptance artifact: the committed JSON builds a
+        mixed-policy VGG session (>= 2 distinct codecs and bound
+        regimes via globs), round-trips unchanged, and trains
+        bit-identically to the programmatically-built equivalent."""
+        cfg = SessionConfig.from_json(MIXED_CONFIG)
+        assert SessionConfig.from_json(cfg.to_json()).to_dict() == cfg.to_dict()
+
+        with build_session(make_net("vgg16"), cfg) as s1:
+            losses_file = run(s1, iters=4, batch=4)
+            groups = {r.layer_name: r.packs for r in s1.tracker.group_summary()}
+            table = s1.policy_table
+            # globs spread the conv layers across >= 2 rule groups
+            assert groups["early-tight"] > 0
+            assert groups["mid-lossless"] > 0
+            assert groups["late-chunked"] > 0
+            assert table.group_of("l0") == "early-tight"
+            assert table.group_of("l5") == "mid-lossless"
+            assert table.group_of("l10") == "late-chunked"
+            # distinct codecs actually packed: SZ for l0, lossless for l5
+            ctx = s1.compressed.ctx
+            assert type(ctx._layer_codec["l0"]) is not type(ctx._layer_codec["l5"])
+            # distinct error-bound regimes: l0/l2 pinned, others adaptive
+            assert s1.error_bounds["l0"] == pytest.approx(5e-4)
+            assert s1.error_bounds["l2"] == pytest.approx(5e-4)
+            assert s1.error_bounds["l10"] != pytest.approx(5e-4)
+
+        # programmatic twin: same tree built in Python, not parsed
+        with build_session(make_net("vgg16"), SessionConfig.from_dict(cfg.to_dict())) as s2:
+            np.testing.assert_array_equal(run(s2, iters=4, batch=4), losses_file)
+
+
+class TestPolicyBehaviour:
+    def _mixed_session(self, **overrides):
+        defaults = dict(
+            rules=[
+                PolicyRule(match="l0", label="pinned", error_bound=2e-3),
+                PolicyRule(match="l4", label="loose", codec=CodecSpec("lossless")),
+            ],
+            adaptive=AdaptiveSpec(W=2, warmup_iterations=2),
+        )
+        defaults.update(overrides)
+        return build_session(make_net(), SessionConfig(**defaults))
+
+    def test_fixed_bound_survives_adaptive_updates(self):
+        with self._mixed_session() as s:
+            run(s, iters=6)
+            assert s.compressed.controller.updates > 0
+            assert s.error_bounds["l0"] == pytest.approx(2e-3)
+            # unmatched layers were adapted away from the pinned value
+            others = [v for k, v in s.error_bounds.items() if k not in ("l0",)]
+            assert any(v != pytest.approx(2e-3) for v in others)
+
+    def test_rule_codec_actually_packs_that_family(self):
+        packed = {}
+
+        with self._mixed_session() as s:
+            ctx = s.compressed.ctx
+            orig = ctx._make_pack_job
+
+            def spying(layer, arr):
+                job = orig(layer, arr)
+
+                def wrapped():
+                    out = job()
+                    packed[layer.name] = out[0]
+                    return out
+
+                return wrapped
+
+            ctx._make_pack_job = spying
+            run(s, iters=1)
+        assert isinstance(packed["l4"], LosslessCompressedTensor)
+        assert isinstance(packed["l0"], CompressedTensor)
+
+    def test_per_rule_inmem_storage_under_arena_session(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", label="hot", storage="inmem")],
+            storage=StorageSpec(activations="arena", budget_bytes=1 << 20),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        seen = {"hot_arena": 0, "other_arena": 0, "other_total": 0}
+        with build_session(make_net(), cfg) as s:
+            ctx = s.compressed.ctx
+            orig = ctx._finalize_pack
+
+            def spying(handle, payload):
+                orig(handle, payload)
+                if handle.layer_name == "l0":
+                    assert handle.arena_key is None, "inmem rule must skip the arena"
+                    seen["hot_arena"] += handle.arena_key is not None
+                else:
+                    seen["other_total"] += 1
+                    seen["other_arena"] += handle.arena_key is not None
+
+            ctx._finalize_pack = spying
+            run(s, iters=2)
+        assert seen["other_total"] > 0 and seen["other_arena"] == seen["other_total"]
+
+    def test_per_rule_group_accounting(self):
+        with self._mixed_session() as s:
+            run(s, iters=3)
+            groups = {r.layer_name: r for r in s.tracker.group_summary()}
+            assert set(groups) >= {"pinned", "loose", "default"}
+            assert groups["pinned"].packs == 3  # one conv1 pack per iteration
+            # group ledger is consistent with the per-layer ledger
+            assert groups["pinned"].raw_bytes == s.tracker.per_layer["l0"].raw_bytes
+
+    def test_per_rule_eb_clamp_override(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", label="capped", eb_max=1e-6)],
+            adaptive=AdaptiveSpec(W=2, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            run(s, iters=6)
+            assert s.compressed.controller.updates > 0
+            assert s.error_bounds["l0"] <= 1e-6
+
+    def test_adaptive_disabled_keeps_warmup_bounds(self):
+        cfg = SessionConfig(adaptive=AdaptiveSpec(enabled=False, W=2))
+        with build_session(make_net(), cfg) as s:
+            run(s, iters=5)
+            assert s.compressed.controller.updates == 0
+            assert s.compressed.adaptive_enabled is False
+
+    def test_async_engine_bit_identical_to_sync_under_policies(self):
+        results = {}
+        for kind in ("sync", "async"):
+            cfg = SessionConfig(
+                rules=[
+                    PolicyRule(match="l0", label="pinned", error_bound=2e-3),
+                    PolicyRule(match="l4", label="loose", codec=CodecSpec("lossless")),
+                ],
+                storage=StorageSpec(activations="arena", budget_bytes=1 << 18),
+                engine=EngineSpec(kind=kind),
+                adaptive=AdaptiveSpec(W=2, warmup_iterations=2),
+            )
+            with build_session(make_net(), cfg) as s:
+                results[kind] = (run(s, iters=5), list(s.tracker.iteration_ratios))
+        np.testing.assert_array_equal(results["sync"][0], results["async"][0])
+        assert results["sync"][1] == results["async"][1]
+
+    def test_session_close_is_idempotent_and_owned(self):
+        cfg = SessionConfig(
+            engine=EngineSpec(kind="async"),
+            storage=StorageSpec(params="arena", param_budget_bytes=32 << 10),
+            profiler=ProfilerSpec(enabled=True),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        s = build_session(make_net(), cfg)
+        run(s, iters=2)
+        s.close()
+        s.close()  # idempotent
+        # parameters restored to residency by the one close
+        for p in s.network.parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_prebuilt_optimizer_override(self):
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.05, momentum=0.0)
+        with build_session(net, SessionConfig(), optimizer=opt) as s:
+            assert s.optimizer is opt
+
+    def test_adam_from_config(self):
+        cfg = SessionConfig(
+            optimizer=OptimizerSpec(kind="adam", lr=1e-3,
+                                    options={"betas": [0.9, 0.99]}),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            losses = run(s, iters=3)
+            assert np.isfinite(losses).all()
+            assert s.optimizer.betas == (0.9, 0.99)
