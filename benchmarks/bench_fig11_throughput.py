@@ -12,6 +12,7 @@ from _common import (
     ENGINE_BATCH,
     ENGINE_MODEL,
     QUICK,
+    group_summary_doc,
     metric,
     timed_engine_run,
     write_bench_json,
@@ -26,8 +27,8 @@ MEASURED_ITERS = 2 if QUICK else 4
 
 
 def measure_engine(engine):
-    dt, losses, _ = timed_engine_run(engine, iters=MEASURED_ITERS)
-    return ENGINE_BATCH * MEASURED_ITERS / dt, losses
+    dt, losses, compressed = timed_engine_run(engine, iters=MEASURED_ITERS)
+    return ENGINE_BATCH * MEASURED_ITERS / dt, losses, compressed
 
 
 def sweep_all():
@@ -64,8 +65,8 @@ def test_fig11_report(benchmark):
     ]
 
     # -- measured engine axis: sync vs async on a real (CPU-scale) stack --
-    ips_sync, losses_sync = measure_engine("sync")
-    ips_async, losses_async = measure_engine("async")
+    ips_sync, losses_sync, sess_sync = measure_engine("sync")
+    ips_async, losses_async, _ = measure_engine("async")
     np.testing.assert_array_equal(losses_sync, losses_async)  # same bits
     rows += [
         f"-- measured engine axis ({ENGINE_MODEL} scaled, batch {ENGINE_BATCH}) --",
@@ -94,7 +95,12 @@ def test_fig11_report(benchmark):
             "measured_async_img_per_s": metric(ips_async, "img/s"),
             "async_over_sync": metric(ips_async / ips_sync, "x"),
         },
-        context={"model": ENGINE_MODEL, "batch": ENGINE_BATCH, "iters": MEASURED_ITERS},
+        context={
+            "model": ENGINE_MODEL,
+            "batch": ENGINE_BATCH,
+            "iters": MEASURED_ITERS,
+            "memory_groups": group_summary_doc(sess_sync.tracker),
+        },
     )
     assert ips_sync > 0 and ips_async > 0
 

@@ -22,6 +22,7 @@ from _common import (
     ENGINE_IMAGE,
     ENGINE_MODEL,
     QUICK,
+    group_summary_doc,
     metric,
     smooth_activation,
     timed_engine_run,
@@ -159,6 +160,10 @@ def test_engine_overlap_report(benchmark):
             "image": ENGINE_IMAGE,
             "batch": ENGINE_BATCH,
             "iters": ENGINE_ITERS,
+            # Per-policy-group raw/stored accounting (empty when the
+            # committed config has no policy rules — honest rather than
+            # omitted, so a rule-ful config change shows up in the diff).
+            "memory_groups": group_summary_doc(sess_sync.tracker),
         },
     )
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
@@ -47,6 +48,7 @@ __all__ = [
     "EngineSpec",
     "AdaptiveSpec",
     "ProfilerSpec",
+    "SanitizerSpec",
     "OptimizerSpec",
     "SessionConfig",
     "capture_session_config",
@@ -170,8 +172,13 @@ class PolicyRule:
     Parameters
     ----------
     match:
-        :mod:`fnmatch` glob over layer names (``"l0"``, ``"l1?"``,
-        ``"conv*"``).
+        Pattern over layer names.  With the default
+        ``match_kind="glob"`` it is an :mod:`fnmatch` glob (``"l0"``,
+        ``"l1?"``, ``"conv*"``); with ``match_kind="regex"`` it is a
+        full-match :mod:`re` pattern (``"l[0-9]+"``), validated at
+        config-parse time.
+    match_kind:
+        ``"glob"`` (default) or ``"regex"``.
     label:
         Accounting-group name (auto ``"rule<i>"`` when empty) — per-rule
         raw/stored bytes appear under it in
@@ -192,6 +199,7 @@ class PolicyRule:
     """
 
     match: str = "*"
+    match_kind: str = "glob"
     label: str = ""
     codec: Optional[CodecSpec] = None
     error_bound: Optional[float] = None
@@ -206,7 +214,19 @@ class PolicyRule:
 
     def validate(self, where: str = "rule") -> None:
         if not isinstance(self.match, str) or not self.match:
-            raise ConfigError(f"{where}: match must be a non-empty glob string")
+            raise ConfigError(f"{where}: match must be a non-empty pattern string")
+        if self.match_kind not in ("glob", "regex"):
+            raise ConfigError(
+                f"{where}: match_kind must be 'glob' or 'regex', "
+                f"got {self.match_kind!r}"
+            )
+        if self.match_kind == "regex":
+            try:
+                re.compile(self.match)
+            except re.error as exc:
+                raise ConfigError(
+                    f"{where}: invalid regex {self.match!r}: {exc}"
+                ) from None
         if self.codec is not None:
             self.codec.validate(f"{where}.codec")
         if self.error_bound is not None and self.error_bound <= 0:
@@ -445,6 +465,44 @@ class ProfilerSpec:
 
 
 @dataclass
+class SanitizerSpec:
+    """Runtime sanitizer for the session (:mod:`repro.core.sanitizer`).
+
+    When ``enabled``, ``build_session`` turns the sanitizer on *before*
+    constructing the stack, so every arena/scratch/codebook/param-store
+    lock is order-tracked (deadlock cycles raise
+    :class:`~repro.core.sanitizer.LockOrderError`), released buffers are
+    NaN-poisoned, and arena double-releases trap with acquisition-site
+    tracebacks.  The sanitizer is process-wide and sticky — objects
+    instrumented for this session stay instrumented (the same switch the
+    ``REPRO_SANITIZE=1`` environment variable flips at import time).
+    Meant for CI/stress runs, not production: poisoning copies buffers
+    on ``put`` and every lock acquire takes a graph check.
+    """
+
+    enabled: bool = False
+    poison: bool = True
+    lock_order: bool = True
+    trap_double_release: bool = True
+
+    def validate(self, where: str = "sanitizer") -> None:
+        for attr in ("enabled", "poison", "lock_order", "trap_double_release"):
+            v = getattr(self, attr)
+            if not isinstance(v, bool):
+                raise ConfigError(f"{where}: {attr} must be a bool, got {v!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "sanitizer") -> "SanitizerSpec":
+        _check_keys(d, cls, where)
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
+@dataclass
 class OptimizerSpec:
     """Optimizer construction, so a config fully determines a run."""
 
@@ -517,6 +575,7 @@ class SessionConfig:
     engine: EngineSpec = field(default_factory=EngineSpec)
     adaptive: AdaptiveSpec = field(default_factory=AdaptiveSpec)
     profiler: ProfilerSpec = field(default_factory=ProfilerSpec)
+    sanitizer: SanitizerSpec = field(default_factory=SanitizerSpec)
     optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
     #: False skips activation compression entirely (the session is then
     #: a plain trainer, optionally with out-of-core parameters /
@@ -557,6 +616,7 @@ class SessionConfig:
         self.storage.validate("storage")
         self.engine.validate("engine")
         self.adaptive.validate("adaptive")
+        self.sanitizer.validate("sanitizer")
         self.optimizer.validate("optimizer")
         return self
 
@@ -571,6 +631,7 @@ class SessionConfig:
                 "engine": self.engine.to_dict() or None,
                 "adaptive": self.adaptive.to_dict() or None,
                 "profiler": self.profiler.to_dict() or None,
+                "sanitizer": self.sanitizer.to_dict() or None,
                 "optimizer": self.optimizer.to_dict() or None,
             },
         )
@@ -585,6 +646,7 @@ class SessionConfig:
             "engine": EngineSpec.from_dict,
             "adaptive": AdaptiveSpec.from_dict,
             "profiler": ProfilerSpec.from_dict,
+            "sanitizer": SanitizerSpec.from_dict,
             "optimizer": OptimizerSpec.from_dict,
         }
         for key, parse in parsers.items():

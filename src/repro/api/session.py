@@ -46,7 +46,7 @@ def build_policy_table(rules: List[PolicyRule]) -> Optional[PolicyTable]:
         rule.validate(f"rules[{i}] (match={rule.match!r})")
         compiled.append(
             (
-                compile_matcher(rule.match),
+                compile_matcher(rule.match, rule.match_kind),
                 ResolvedPolicy(
                     label=rule.label or f"rule{i}",
                     codec=rule.codec.build() if rule.codec is not None else None,
@@ -126,6 +126,13 @@ class Session:
     def compression_ratios(self):
         return self.compressed.compression_ratios if self.compressed is not None else {}
 
+    @property
+    def sanitizer_report(self) -> dict:
+        """Process-wide sanitizer counters (see :mod:`repro.core.sanitizer`)."""
+        from repro.core import sanitizer
+
+        return sanitizer.report()
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Tear everything down exactly once: flush in-flight packs,
@@ -172,6 +179,19 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
             f"SessionConfig.from_json(path)"
         )
     config.validate()
+
+    if config.sanitizer.enabled:
+        # Turn the sanitizer on BEFORE constructing anything: arenas,
+        # scratch pools, codebook caches, and engines instrument
+        # themselves at construction time.  Process-wide and sticky
+        # (see SanitizerSpec) — the same switch REPRO_SANITIZE=1 flips.
+        from repro.core import sanitizer
+
+        sanitizer.enable(
+            poison=config.sanitizer.poison,
+            lock_order=config.sanitizer.lock_order,
+            trap_double_release=config.sanitizer.trap_double_release,
+        )
 
     if optimizer is None:
         optimizer = config.optimizer.build(network.parameters())

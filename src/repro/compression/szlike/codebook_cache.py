@@ -112,6 +112,9 @@ class CodebookCache:
         self.rebuilds_escape = 0  # escape path not viable
         self.escaped_symbols = 0  # symbols demoted under cached books
         self.evictions = 0
+        from repro.core.sanitizer import maybe_instrument
+
+        maybe_instrument(self, "codebook_cache")
 
     # -- internals ---------------------------------------------------------
     @staticmethod
@@ -224,7 +227,8 @@ class CodebookCache:
 
     @property
     def rebuilds(self) -> int:
-        return self.rebuilds_delta + self.rebuilds_refresh + self.rebuilds_escape
+        with self._lock:
+            return self.rebuilds_delta + self.rebuilds_refresh + self.rebuilds_escape
 
     def stats(self) -> dict:
         with self._lock:
@@ -244,9 +248,18 @@ class CodebookCache:
             return len(self._entries)
 
     def __repr__(self) -> str:
+        # One snapshot under the (non-reentrant) lock; len(self) and the
+        # rebuilds property would deadlock here, so read fields directly.
+        with self._lock:
+            entries = len(self._entries)
+            hits = self.hits
+            builds = self.builds
+            rebuilds = (
+                self.rebuilds_delta + self.rebuilds_refresh + self.rebuilds_escape
+            )
         return (
-            f"CodebookCache(entries={len(self)}, hits={self.hits}, "
-            f"builds={self.builds}, rebuilds={self.rebuilds})"
+            f"CodebookCache(entries={entries}, hits={hits}, "
+            f"builds={builds}, rebuilds={rebuilds})"
         )
 
     # Caches don't pickle their contents (the process-pool chunked codec
@@ -261,3 +274,6 @@ class CodebookCache:
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        from repro.core.sanitizer import maybe_instrument
+
+        maybe_instrument(self, "codebook_cache")

@@ -54,8 +54,7 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
-from repro.compression.szlike import SZCompressor
-from repro.compression.registry import Codec
+from repro.compression.registry import Codec, get_codec
 from repro.compression.registry import dumps as _codec_dumps
 from repro.compression.registry import loads as _codec_loads
 from repro.core.arena import ByteArena
@@ -311,7 +310,9 @@ class CompressingContext(BaseCompressionContext):
         super().__init__(
             tracker=tracker, storage=storage, engine=engine, policy_table=policy_table
         )
-        self.compressor = compressor or SZCompressor(error_bound=1e-3, entropy="huffman")
+        self.compressor = compressor or get_codec(
+            "szlike", error_bound=1e-3, entropy="huffman"
+        )
         if initial_rel_eb <= 0:
             raise ValueError("initial_rel_eb must be positive")
         self.initial_rel_eb = float(initial_rel_eb)

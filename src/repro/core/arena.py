@@ -90,9 +90,22 @@ class ByteArena:
         self.prefetch_count = 0
         #: bytes currently held in the prefetch staging cache
         self.prefetched_nbytes = 0
+        from repro.core.sanitizer import maybe_instrument
 
-    # -- internals (callers hold the lock) ----------------------------------
+        maybe_instrument(self, "arena")
+
+    # -- sanitizer hooks ----------------------------------------------------
+    #: ingests caller bytes on put(); the sanitizer swaps in ``bytearray``
+    #: so released buffers can be poisoned in place
+    _copy_in = staticmethod(bytes)
+
+    def _on_release(self, buf) -> None:
+        """Called with each buffer leaving the arena (discard/close);
+        the sanitizer overrides this to NaN-poison the bytes."""
+
+    # -- internals ----------------------------------------------------------
     def _ensure_spill_dir(self) -> str:
+        """Create/return the spill directory (callers hold the lock)."""
         if self._spill_dir is None:
             self._spill_dir = tempfile.mkdtemp(prefix="repro-arena-")
         else:
@@ -100,6 +113,7 @@ class ByteArena:
         return self._spill_dir
 
     def _spill_oldest(self) -> None:
+        """Write the FIFO-oldest entry to disk (callers hold the lock)."""
         key, data = self._mem.popitem(last=False)
         path = os.path.join(self._ensure_spill_dir(), f"{self._tag}-{key}.bin")
         with open(path, "wb") as f:
@@ -110,12 +124,14 @@ class ByteArena:
         self.spill_count += 1
 
     def _maybe_spill(self) -> None:
+        """Spill until under budget (callers hold the lock)."""
         if self.budget_bytes is None:
             return
         while self._mem and self.in_memory_nbytes > self.budget_bytes:
             self._spill_oldest()
 
     def _track_peaks(self) -> None:
+        """Update resident high-water marks (callers hold the lock)."""
         # Resident bytes include the prefetch staging cache: it is real
         # memory even though it duplicates disk and bypasses the FIFO
         # budget (staging volume is bounded by the caller, not the arena).
@@ -131,8 +147,9 @@ class ByteArena:
                 raise RuntimeError("arena is closed")
             key = self._next_key
             self._next_key += 1
-            self._mem[key] = bytes(data)
-            self.in_memory_nbytes += len(data)
+            blob = self._copy_in(data)
+            self._mem[key] = blob
+            self.in_memory_nbytes += len(blob)
             # Peaks reflect the true resident high-water mark: the new entry
             # is held in memory before any spill relieves the budget.
             self._track_peaks()
@@ -252,8 +269,11 @@ class ByteArena:
             staged = self._staged.pop(key, None)
             if staged is not None:
                 self.prefetched_nbytes -= len(staged)
+                self._on_release(staged)
             if key in self._mem:
-                self.in_memory_nbytes -= len(self._mem.pop(key))
+                buf = self._mem.pop(key)
+                self.in_memory_nbytes -= len(buf)
+                self._on_release(buf)
                 return
             entry = self._disk.pop(key, None)
             if entry is not None:
@@ -275,7 +295,8 @@ class ByteArena:
     @property
     def total_nbytes(self) -> int:
         """Live bytes across memory and disk."""
-        return self.in_memory_nbytes + self.spilled_nbytes
+        with self._lock:  # re-entrant: also read from _track_peaks under put
+            return self.in_memory_nbytes + self.spilled_nbytes
 
     def close(self) -> None:
         """Drop every entry, delete spill files, and remove the owned
@@ -284,6 +305,10 @@ class ByteArena:
         with self._lock:
             if self._closed:
                 return
+            for buf in self._mem.values():
+                self._on_release(buf)
+            for buf in self._staged.values():
+                self._on_release(buf)
             self._mem.clear()
             self._staged.clear()
             for path, _ in self._disk.values():
@@ -314,7 +339,11 @@ class ByteArena:
 
     def __repr__(self) -> str:
         budget = "none" if self.budget_bytes is None else f"{self.budget_bytes}B"
+        with self._lock:
+            entries = len(self._mem) + len(self._disk)
+            mem = self.in_memory_nbytes
+            disk = self.spilled_nbytes
         return (
-            f"ByteArena(entries={len(self)}, mem={self.in_memory_nbytes}B, "
-            f"disk={self.spilled_nbytes}B, budget={budget})"
+            f"ByteArena(entries={entries}, mem={mem}B, "
+            f"disk={disk}B, budget={budget})"
         )

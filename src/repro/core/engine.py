@@ -225,6 +225,9 @@ class AsyncEngine(CompressionEngine):
         #: latest depth the adaptive controller settled on (mirrors
         #: ``prefetch_depth`` for fixed-depth engines)
         self.last_effective_depth = self.prefetch_depth
+        from repro.core.sanitizer import maybe_instrument
+
+        maybe_instrument(self, "engine")
 
     # -- internals ---------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:

@@ -63,7 +63,6 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.compression.registry import Codec, get_codec
-from repro.compression.szlike import SZCompressor
 from repro.core.activation_store import CompressingContext
 from repro.core.arena import ByteArena
 from repro.core.engine import CompressionEngine
@@ -162,7 +161,8 @@ class CompressedTraining:
         if isinstance(compressor, str):
             compressor = get_codec(compressor)
         self.ctx = CompressingContext(
-            compressor=compressor or SZCompressor(entropy="huffman", zero_filter=True),
+            compressor=compressor
+            or get_codec("szlike", entropy="huffman", zero_filter=True),
             initial_rel_eb=self.config.initial_rel_eb,
             tracker=self.tracker,
             storage=storage,

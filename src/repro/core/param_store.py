@@ -177,6 +177,9 @@ class ParamStore:
         #: staging requests that failed (visible symptom of a prefetch
         #: race/regression — healthy runs keep this at 0)
         self.stage_errors = 0
+        from repro.core.sanitizer import maybe_instrument
+
+        maybe_instrument(self, "param_store")
 
     # -- serialization -----------------------------------------------------
     def _encode(self, arr: np.ndarray) -> bytes:

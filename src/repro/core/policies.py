@@ -28,7 +28,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from repro.compression.registry import dumps as _codec_dumps
-from repro.compression.szlike import SZCompressor
+from repro.compression.registry import get_codec
 from repro.core.activation_store import BaseCompressionContext
 from repro.core.arena import ByteArena
 from repro.core.engine import CompressionEngine
@@ -122,8 +122,8 @@ class FixedBoundSZPolicy(CodecPolicy):
         engine: Union[CompressionEngine, str, None] = None,
         policy_table: Optional[PolicyTable] = None,
     ):
-        codec = SZCompressor(
-            error_bound=error_bound, entropy=entropy, zero_filter=zero_filter
+        codec = get_codec(
+            "szlike", error_bound=error_bound, entropy=entropy, zero_filter=zero_filter
         )
         super().__init__(
             codec, tracker, storage=storage, engine=engine, policy_table=policy_table

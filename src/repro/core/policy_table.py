@@ -26,6 +26,7 @@ specs, but nothing here depends on the api layer — contexts in
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -36,16 +37,27 @@ __all__ = ["ResolvedPolicy", "PolicyTable", "compile_matcher"]
 DEFAULT_GROUP = "default"
 
 
-def compile_matcher(pattern: str) -> Callable[[str], bool]:
-    """Compile a glob *pattern* into a layer-name predicate.
+def compile_matcher(pattern: str, kind: str = "glob") -> Callable[[str], bool]:
+    """Compile a *pattern* into a layer-name predicate.
 
-    Uses :func:`fnmatch.fnmatchcase` (case-sensitive: layer names are
-    identifiers, not filenames).  ``"l*"`` matches every default layer
-    name; ``"l0"`` matches exactly one; ``"l[01]"`` a character class.
+    ``kind="glob"`` (default) uses :func:`fnmatch.fnmatchcase`
+    (case-sensitive: layer names are identifiers, not filenames) —
+    ``"l*"`` matches every default layer name; ``"l0"`` exactly one;
+    ``"l[01]"`` a character class.  ``kind="regex"`` compiles an
+    :mod:`re` pattern matched against the **whole** name
+    (``fullmatch``), so ``"l[0-9]+"`` matches ``l12`` but not ``l12x``.
     """
     if not isinstance(pattern, str) or not pattern:
-        raise ValueError(f"glob pattern must be a non-empty string, got {pattern!r}")
-    return lambda name: fnmatchcase(name, pattern)
+        raise ValueError(f"match pattern must be a non-empty string, got {pattern!r}")
+    if kind == "glob":
+        return lambda name: fnmatchcase(name, pattern)
+    if kind == "regex":
+        try:
+            compiled = re.compile(pattern)
+        except re.error as exc:
+            raise ValueError(f"invalid regex pattern {pattern!r}: {exc}") from None
+        return lambda name: compiled.fullmatch(name) is not None
+    raise ValueError(f"match kind must be 'glob' or 'regex', got {kind!r}")
 
 
 @dataclass

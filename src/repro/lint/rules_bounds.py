@@ -1,0 +1,113 @@
+"""EBD001 — error-bound arithmetic must stay float64-exact.
+
+**Rule.** Inside ``compression/`` modules, expressions that involve an
+error-bound identifier (``error_bound``, ``eb``, ``eb_min``, ``rel_eb``,
+``bound`` — any identifier with an ``eb``/``bound`` word part) must not
+pass through float32-truncating operations:
+
+* ``np.float32(<bound expr>)`` (or ``numpy.float32`` / a bare
+  ``float32`` imported from numpy),
+* ``<bound expr>.astype(np.float32)`` / ``.astype("float32")``,
+* ``dtype=np.float32`` / ``dtype="float32"`` keywords in calls whose
+  arguments mention a bound identifier.
+
+**Why.** The paper's guarantee is a *strict* per-element bound; PR 1
+established the convention that all bound math runs in float64 and only
+reconstructed *values* may be cast down.  A float32 round-trip of the
+bound itself (or of the quantization grid scaled by it) can round the
+bound up past the promise the controller made — off by one ULP is still
+a broken guarantee.  Casting value arrays whose names do not mention the
+bound is fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.engine import LintModule, LintRun, Rule, Violation
+
+__all__ = ["ErrorBoundExactnessRule"]
+
+_BOUND_WORDS = {"eb", "bound", "bounds"}
+
+
+def _identifier_words(name: str) -> set:
+    return set(name.lower().split("_"))
+
+
+def _mentions_bound(node: ast.AST) -> Optional[str]:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.arg):
+            name = sub.arg
+        if name and _identifier_words(name) & _BOUND_WORDS:
+            return name
+    return None
+
+
+def _is_float32_ref(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value == "float32"
+    if isinstance(node, ast.Name):
+        return node.id == "float32"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "float32"
+    return False
+
+
+class ErrorBoundExactnessRule(Rule):
+    id = "EBD001"
+    name = "error-bound-exactness"
+    rationale = (
+        "Bound arithmetic in compression/ must stay float64-exact; a float32 "
+        "truncation of a bound expression can round the guarantee away."
+    )
+
+    def check(self, module: LintModule, run: LintRun) -> Iterable[Violation]:
+        if "compression" not in module.parts:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hit = self._check_call(node)
+            if hit is not None:
+                yield self.violation(module, node, hit)
+
+    def _check_call(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        # np.float32(<bound expr>)
+        if _is_float32_ref(func) and call.args:
+            name = _mentions_bound(call.args[0])
+            if name:
+                return (
+                    f"float32() truncates the bound expression (mentions {name!r}); "
+                    f"bound math must stay float64-exact"
+                )
+        # <bound expr>.astype(float32)
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            dtype_args = list(call.args) + [
+                kw.value for kw in call.keywords if kw.arg == "dtype"
+            ]
+            if any(_is_float32_ref(a) for a in dtype_args):
+                name = _mentions_bound(func.value)
+                if name:
+                    return (
+                        f"astype(float32) truncates an expression involving "
+                        f"{name!r}; bound math must stay float64-exact"
+                    )
+        # f(..., dtype=np.float32) over bound-carrying arguments
+        for kw in call.keywords:
+            if kw.arg == "dtype" and _is_float32_ref(kw.value):
+                for arg in call.args:
+                    name = _mentions_bound(arg)
+                    if name:
+                        return (
+                            f"dtype=float32 truncates an argument involving "
+                            f"{name!r}; bound math must stay float64-exact"
+                        )
+        return None

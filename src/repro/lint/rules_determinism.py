@@ -1,0 +1,216 @@
+"""DET001 — reproducibility of everything reachable from ``build_session``.
+
+**Rule.** In modules transitively imported from ``repro.api.session``
+(the ``build_session`` entry point), three nondeterminism sources are
+banned:
+
+* **Wall-clock in logic** — ``time.time()`` / ``time.time_ns()``.
+  Durations belong to ``time.perf_counter()`` (allowed); wall-clock
+  values leak host state into results.
+* **Module-level RNG state** — calls through the global ``random``
+  module (``random.random()``, ``random.seed()``, ...) or numpy's
+  legacy global generator (``np.random.seed/rand/randn/...``).  All
+  randomness must flow through an explicitly seeded
+  ``np.random.Generator`` (``np.random.default_rng(seed)`` and
+  ``Generator`` methods are fine — the rule tracks the *global* state).
+* **Hash-ordered iteration** — ``for``/comprehension iteration directly
+  over a ``set`` literal, ``set()``/``frozenset()`` call, or set
+  comprehension.  Set order depends on ``PYTHONHASHSEED`` for str keys;
+  sort first.  (Dicts are insertion-ordered and not flagged.)
+
+When the linted file set does not include ``repro.api.session`` (e.g.
+the fixture tree), the rule applies to every file — so known-bad
+snippets stay checkable outside the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.lint.engine import LintModule, LintRun, Rule, Violation
+
+__all__ = ["DeterminismRule"]
+
+_ENTRY = "repro.api.session"
+_NUMPY_GLOBAL_RNG = {
+    "seed",
+    "rand",
+    "randn",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "randint",
+    "random_integers",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "get_state",
+    "set_state",
+}
+_STDLIB_GLOBAL_RNG = {
+    "seed",
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "betavariate",
+    "expovariate",
+    "getrandbits",
+}
+
+
+def _numpy_aliases(module: LintModule) -> Set[str]:
+    out = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    out.add(alias.asname or "numpy")
+    return out
+
+
+def _stdlib_random_imported(module: LintModule) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "random" for alias in node.names):
+                return True
+    return False
+
+
+def _time_aliases(module: LintModule) -> Set[str]:
+    out = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    out.add(alias.asname or "time")
+    return out
+
+
+def _from_imported(module: LintModule, source: str, names: Set[str]) -> Set[str]:
+    out = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == source and not node.level:
+            for alias in node.names:
+                if alias.name in names:
+                    out.add(alias.asname or alias.name)
+    return out
+
+
+def _iter_target_is_set(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismRule(Rule):
+    id = "DET001"
+    name = "determinism"
+    rationale = (
+        "Paths reachable from build_session must be replay-deterministic: no "
+        "wall-clock reads, no module-level RNG state, no hash-ordered set "
+        "iteration."
+    )
+
+    def check(self, module: LintModule, run: LintRun) -> Iterable[Violation]:
+        reachable = run.reachable_from(_ENTRY)
+        if reachable is not None:
+            if module.module_name is None or module.module_name not in reachable:
+                return
+        np_aliases = _numpy_aliases(module)
+        time_aliases = _time_aliases(module)
+        stdlib_random = _stdlib_random_imported(module)
+        from_time = _from_imported(module, "time", {"time", "time_ns"})
+        from_random = _from_imported(module, "random", _STDLIB_GLOBAL_RNG)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                msg = self._check_call(
+                    node, np_aliases, time_aliases, stdlib_random, from_time, from_random
+                )
+                if msg:
+                    yield self.violation(module, node, msg)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _iter_target_is_set(node.iter):
+                    yield self.violation(
+                        module,
+                        node.iter,
+                        "iteration over a set has hash-dependent order; sort it first",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _iter_target_is_set(gen.iter):
+                        yield self.violation(
+                            module,
+                            gen.iter,
+                            "comprehension over a set has hash-dependent order; "
+                            "sort it first",
+                        )
+
+    def _check_call(
+        self,
+        call: ast.Call,
+        np_aliases: Set[str],
+        time_aliases: Set[str],
+        stdlib_random: bool,
+        from_time: Set[str],
+        from_random: Set[str],
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in from_time:
+                return "wall-clock time() in session-reachable code; use perf_counter for durations"
+            if func.id in from_random:
+                return f"global random.{func.id}() draws module-level RNG state; use a seeded Generator"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        # time.time() / time.time_ns()
+        if (
+            isinstance(value, ast.Name)
+            and value.id in time_aliases
+            and func.attr in ("time", "time_ns")
+        ):
+            return (
+                f"time.{func.attr}() in session-reachable code; wall-clock values "
+                f"are not reproducible (use perf_counter for durations)"
+            )
+        # random.<fn>()
+        if (
+            stdlib_random
+            and isinstance(value, ast.Name)
+            and value.id == "random"
+            and func.attr in _STDLIB_GLOBAL_RNG
+        ):
+            return (
+                f"random.{func.attr}() draws module-level RNG state; "
+                f"use an explicitly seeded np.random.Generator"
+            )
+        # np.random.<fn>()
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in np_aliases
+            and func.attr in _NUMPY_GLOBAL_RNG
+        ):
+            return (
+                f"np.random.{func.attr}() mutates/draws numpy's global RNG; "
+                f"use np.random.default_rng(seed) and pass the Generator"
+            )
+        return None

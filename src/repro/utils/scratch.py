@@ -55,6 +55,9 @@ class ScratchPool:
         self.hits = 0
         self.misses = 0
         self.free_bytes = 0
+        from repro.core.sanitizer import maybe_instrument
+
+        maybe_instrument(self, "scratch")
 
     def _borrow(self, size: int, dtype: np.dtype) -> np.ndarray:
         with self._lock:
@@ -107,4 +110,5 @@ class ScratchPool:
     def __repr__(self) -> str:
         with self._lock:
             n = sum(len(b) for b in self._free.values())
-        return f"ScratchPool(free_buffers={n}, free_bytes={self.free_bytes})"
+            free_bytes = self.free_bytes
+        return f"ScratchPool(free_buffers={n}, free_bytes={free_bytes})"

@@ -213,3 +213,73 @@ class TestReviewRegressions:
         before = len(multiprocessing.active_children())
         spec.validate()
         assert len(multiprocessing.active_children()) == before
+
+
+class TestMatchKind:
+    def test_regex_rule_round_trips(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match=r"l\d+", match_kind="regex", error_bound=1e-3)],
+        )
+        d = cfg.to_dict()
+        assert d["rules"][0]["match_kind"] == "regex"
+        again = SessionConfig.from_dict(d)
+        assert again.rules[0].match_kind == "regex"
+        assert again.to_dict() == d
+
+    def test_glob_default_stays_sparse(self):
+        d = SessionConfig(rules=[PolicyRule(match="l*")]).to_dict()
+        assert "match_kind" not in d["rules"][0]
+
+    def test_invalid_regex_fails_at_parse_time(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l[", match_kind="regex")],
+        )
+        with pytest.raises(ConfigError, match=r"rules\[0\].*invalid regex"):
+            cfg.validate()
+
+    def test_unknown_match_kind_rejected(self):
+        cfg = SessionConfig(rules=[PolicyRule(match="l0", match_kind="prefix")])
+        with pytest.raises(ConfigError, match="glob.*regex.*prefix"):
+            cfg.validate()
+
+    def test_regex_matcher_is_fullmatch(self):
+        from repro.core.policy_table import compile_matcher
+
+        matches = compile_matcher(r"l\d+", kind="regex")
+        assert matches("l12")
+        assert not matches("l12_extra")  # fullmatch, not search
+        assert not matches("xl12")
+
+    def test_regex_rule_selects_layers_in_policy_table(self):
+        from repro.api.session import build_policy_table
+
+        cfg = SessionConfig(
+            rules=[
+                PolicyRule(match=r"(conv|fc)\d", match_kind="regex",
+                           error_bound=2e-3, label="re"),
+                PolicyRule(match="*", storage="inmem", label="rest"),
+            ],
+        )
+        cfg.validate()
+        table = build_policy_table(cfg.rules)
+        assert table.group_of("conv1") == "re"
+        assert table.group_of("fc2") == "re"
+        assert table.group_of("pool1") == "rest"
+
+
+class TestSanitizerSpec:
+    def test_round_trip_and_sparse_default(self):
+        from repro.api.config import SanitizerSpec
+
+        assert "sanitizer" not in SessionConfig().to_dict()
+        cfg = SessionConfig(sanitizer=SanitizerSpec(enabled=True, poison=False))
+        d = cfg.to_dict()
+        assert d["sanitizer"] == {"enabled": True, "poison": False}
+        assert SessionConfig.from_dict(d).to_dict() == d
+
+    def test_non_bool_flag_rejected(self):
+        from repro.api.config import SanitizerSpec
+
+        cfg = SessionConfig(sanitizer=SanitizerSpec(enabled="yes"))
+        with pytest.raises(ConfigError, match="sanitizer"):
+            cfg.validate()

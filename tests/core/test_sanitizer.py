@@ -1,0 +1,147 @@
+"""Runtime sanitizer: buffer poisoning, double-release traps, lock-order
+cycle detection, and the build_session wiring.
+
+The sanitizer is process-wide and sticky, so every test that enables it
+disables it again; objects constructed after disable() are untouched.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import sanitizer
+from repro.core.arena import ByteArena
+from repro.core.sanitizer import (
+    DoubleReleaseError,
+    LockOrderError,
+    LockOrderMonitor,
+    TrackedLock,
+    UseAfterReleaseError,
+)
+from repro.utils.scratch import ScratchPool
+
+# True when the test process itself was launched with REPRO_SANITIZE=1.
+ENV_SANITIZED = sanitizer.enabled()
+
+
+@pytest.fixture
+def sanitized():
+    sanitizer.enable()
+    yield
+    sanitizer.disable()
+
+
+@pytest.mark.skipif(ENV_SANITIZED, reason="process launched with REPRO_SANITIZE=1")
+def test_disabled_by_default():
+    arena = ByteArena(budget_bytes=None)
+    key = arena.put(b"abc")
+    assert bytes(arena.get(key)) == b"abc"
+    arena.discard(key)
+    arena.discard(key)  # without the sanitizer this stays a silent no-op
+    arena.close()
+    assert not sanitizer.report()["enabled"]
+
+
+def test_double_release_raises(sanitized):
+    arena = ByteArena(budget_bytes=None)
+    key = arena.put(b"abc")
+    arena.discard(key)
+    with pytest.raises(DoubleReleaseError) as excinfo:
+        arena.discard(key)
+    # the trap names both sites: first release and the offending one
+    assert "first released" in str(excinfo.value)
+    arena.close()
+
+
+def test_use_after_release_raises(sanitized):
+    arena = ByteArena(budget_bytes=None)
+    key = arena.put(b"abc")
+    arena.discard(key)
+    with pytest.raises(UseAfterReleaseError):
+        arena.get(key)
+    arena.close()
+
+
+def test_unknown_key_discard_stays_noop(sanitized):
+    arena = ByteArena(budget_bytes=None)
+    arena.discard(123456)  # never-acquired keys keep the no-op contract
+    arena.close()
+
+
+def test_released_buffer_is_nan_poisoned(sanitized):
+    arena = ByteArena(budget_bytes=None)
+    payload = np.arange(4, dtype=np.float64).tobytes()
+    key = arena.put(payload)
+    leaked = arena.get(key)  # aliasing reference held past the release
+    arena.discard(key)
+    values = np.frombuffer(bytes(leaked), dtype=np.float64)
+    assert np.isnan(values).all()
+    assert sanitizer.report()["poisoned_buffers"] >= 1
+    arena.close()
+
+
+def test_pop_returns_intact_bytes(sanitized):
+    arena = ByteArena(budget_bytes=None)
+    key = arena.put(b"abcd")
+    assert arena.pop(key) == b"abcd"  # copied out before the poison pass
+    arena.close()
+
+
+def test_scratch_buffers_poisoned_on_return(sanitized):
+    pool = ScratchPool()
+    with pool.take((4,), np.float64) as buf:
+        buf[:] = 1.0
+        view = buf
+    assert np.isnan(view).all()
+
+
+def test_lock_order_cycle_detected(sanitized):
+    monitor = LockOrderMonitor()
+    lock_a = TrackedLock(threading.Lock(), "a", False, monitor)
+    lock_b = TrackedLock(threading.Lock(), "b", False, monitor)
+    with lock_a:
+        with lock_b:
+            pass  # establishes the a -> b ordering edge
+    with lock_b:
+        with pytest.raises(LockOrderError):
+            lock_a.acquire()
+
+
+def test_nonreentrant_self_acquire_detected(sanitized):
+    monitor = LockOrderMonitor()
+    lock = TrackedLock(threading.Lock(), "plain", False, monitor)
+    with lock:
+        with pytest.raises(LockOrderError):
+            lock.acquire()
+
+
+def test_reentrant_lock_allows_nesting(sanitized):
+    monitor = LockOrderMonitor()
+    lock = TrackedLock(threading.RLock(), "rlock", True, monitor)
+    with lock:
+        with lock:
+            pass
+
+
+def test_build_session_enables_sanitizer_and_reports():
+    from repro.api import SessionConfig, build_session
+    from repro.api.config import SanitizerSpec, StorageSpec
+    from repro.models import build_scaled_model
+    from repro.nn import SyntheticImageDataset, batches
+
+    config = SessionConfig(
+        sanitizer=SanitizerSpec(enabled=True),
+        storage=StorageSpec(activations="arena", budget_bytes=1 << 20),
+    )
+    net = build_scaled_model("alexnet", num_classes=4, image_size=8, rng=0)
+    dataset = SyntheticImageDataset(num_classes=4, image_size=8, seed=1)
+    try:
+        with build_session(net, config) as session:
+            session.train(batches(dataset, 2, 2, seed=2))
+            report = session.sanitizer_report
+            assert report["enabled"]
+            assert report["instrumented_objects"] > 0
+            assert report["lock_acquisitions"] > 0
+    finally:
+        sanitizer.disable()

@@ -1,0 +1,56 @@
+"""Clean fixture: near-miss patterns no rule may flag."""
+
+import threading
+import time
+
+import numpy as np
+
+
+class Guarded:
+    """Lock-owning class whose every guarded touch is under the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.rate = 0.0  # never mutated under the lock: unguarded
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read(self):
+        with self._lock:
+            return self.count
+
+    def rate_hint(self):
+        return self.rate
+
+    def _sync(self):
+        """Advance the counter (callers hold the lock)."""
+        self.count += 1
+
+
+def transfer(arena, blob):
+    key = arena.put(blob)
+    try:
+        return arena.get(key)
+    finally:
+        arena.discard(key)
+
+
+def stash(handles, arena, blob):
+    key = arena.put(blob)
+    handles.append(key)  # ownership escapes to the caller's list
+
+
+def durations():
+    return time.perf_counter()  # monotonic clock is fine; wall clock is not
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)  # explicitly seeded generator
+    return rng.standard_normal(4)
+
+
+def ordered(names):
+    return sorted({n.lower() for n in names})  # sorted(set) is deterministic

@@ -1,0 +1,9 @@
+"""Clean: float64 bound math; only reconstructed values are cast down."""
+
+import numpy as np
+
+
+def reconstruct(codes, error_bound, dtype):
+    grid = 2.0 * np.float64(error_bound)
+    out = codes.astype(np.float64) * grid
+    return out.astype(dtype)  # value cast, no bound identifier involved

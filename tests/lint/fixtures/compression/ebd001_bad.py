@@ -1,0 +1,8 @@
+"""Known-bad: float32-truncated bound math (lives under compression/)."""
+
+import numpy as np
+
+
+def quantize(data, error_bound):
+    eb = np.float32(error_bound)  # bound truncated to float32
+    return np.round(data / (2.0 * eb))

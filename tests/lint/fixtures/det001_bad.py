@@ -1,0 +1,19 @@
+"""Known-bad: nondeterminism sources reprolint must flag."""
+
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # wall clock
+
+
+def jitter():
+    np.random.seed(0)  # numpy global RNG
+    return random.random()  # stdlib global RNG
+
+
+def order(layers):
+    return [n for n in {"a", "b"}]  # hash-ordered set iteration

@@ -1,0 +1,16 @@
+"""Known-bad: guarded attribute read outside the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        return self.count  # guarded read outside the lock

@@ -1,0 +1,16 @@
+"""Same pattern as lck001_bad.py but explicitly suppressed."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        return self.count  # reprolint: disable=LCK001

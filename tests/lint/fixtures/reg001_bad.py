@@ -1,0 +1,7 @@
+"""Known-bad: codec constructed by class outside compression/."""
+
+
+def build():
+    from repro.compression.szlike import SZCompressor
+
+    return SZCompressor(error_bound=1e-3)  # bypasses the registry

@@ -1,0 +1,16 @@
+"""Known-bad: arena acquisitions that leak or double-release."""
+
+
+def leaky(arena, blob):
+    key = arena.put(blob)  # never released, never escapes
+    if not blob:
+        return None
+    return None
+
+
+def double_release(arena, blob):
+    key = arena.put(blob)
+    data = arena.get(key)
+    arena.discard(key)
+    arena.discard(key)  # second release of the same key
+    return data

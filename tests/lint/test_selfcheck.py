@@ -1,0 +1,19 @@
+"""The shipped sources must be reprolint-clean at HEAD.
+
+This is the self-check gate: any rule violation introduced in src/repro
+fails this test before it ever reaches the CI lint job.
+"""
+
+import os
+
+from repro.lint import lint_paths
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src", "repro")
+)
+
+
+def test_src_tree_is_clean():
+    violations, files_checked = lint_paths([SRC])
+    assert files_checked > 60
+    assert violations == [], "\n".join(v.format() for v in violations)
