@@ -128,21 +128,23 @@ ENGINE_CONFIG = os.path.join(os.path.dirname(__file__), "configs", "engine_sessi
 
 
 def timed_engine_run(engine, model=ENGINE_MODEL, image_size=ENGINE_IMAGE,
-                     batch=ENGINE_BATCH, iters=6, param_budget=None):
+                     batch=ENGINE_BATCH, iters=6, param_budget=None,
+                     unpack_depth=None, bind_window_bytes=0, profile=False):
     """One compressed-training run for the sync-vs-async engine axes.
 
     Returns ``(seconds, losses, session)`` where *session* exposes the
     compressed-training internals (``tracker``, ``param_store``,
-    ``engine``).  The setup is the committed JSON config
-    ``configs/engine_session.json`` loaded through the
-    :mod:`repro.api` front door, with only the benchmark axes (engine
-    kind, parameter budget) overridden — so the benchmarked workload is
-    reproducible from a reviewable file.  Deterministically seeded: two
-    runs that differ only in *engine* (or in whether parameters live
-    out-of-core) must produce bit-identical losses and tracker numbers.
-    ``param_budget`` (bytes) additionally moves weights and optimizer
-    slots into an arena-backed ``ParamStore`` with that in-memory
-    budget — the full out-of-core regime.
+    ``engine``, and — with ``profile=True`` — ``profiler``).  The setup
+    is the committed JSON config ``configs/engine_session.json`` loaded
+    through the :mod:`repro.api` front door, with only the benchmark
+    axes (engine kind, parameter budget, unpack/bind-window overlap
+    knobs) overridden — so the benchmarked workload is reproducible
+    from a reviewable file.  Deterministically seeded: two runs that
+    differ only in *engine* (or any overlap knob, or in whether
+    parameters live out-of-core) must produce bit-identical losses and
+    tracker numbers.  ``param_budget`` (bytes) additionally moves
+    weights and optimizer slots into an arena-backed ``ParamStore``
+    with that in-memory budget — the full out-of-core regime.
     """
     import time
 
@@ -152,6 +154,12 @@ def timed_engine_run(engine, model=ENGINE_MODEL, image_size=ENGINE_IMAGE,
 
     cfg = SessionConfig.from_json(ENGINE_CONFIG)
     cfg.engine.kind = engine
+    if unpack_depth is not None:
+        cfg.engine.unpack_depth = unpack_depth
+    if bind_window_bytes:
+        cfg.engine.bind_window_bytes = bind_window_bytes
+    if profile:
+        cfg.profiler.enabled = True
     if param_budget is not None:
         cfg.storage.params = "arena"
         cfg.storage.param_budget_bytes = param_budget
@@ -163,4 +171,4 @@ def timed_engine_run(engine, model=ENGINE_MODEL, image_size=ENGINE_IMAGE,
     session.train(batches(dataset, batch, iters, seed=1))
     elapsed = time.perf_counter() - t0
     session.close()
-    return elapsed, session.history.losses, session.compressed
+    return elapsed, session.history.losses, session

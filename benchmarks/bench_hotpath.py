@@ -28,15 +28,17 @@ every number is still emitted to ``BENCH_hotpath.json`` and gated
 against the baseline).
 """
 
+import pickle
 import time
 import tracemalloc
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 import pytest
 
 from _common import QUICK, metric, smooth_activation, write_bench_json, write_report
 from repro.compression import CodebookCache, SZCompressor
-from repro.compression.szlike import build_codebook
+from repro.compression.szlike import SharedCodebookCache, build_codebook
 from repro.compression.szlike.huffman import _encode_bitplane, huffman_encode
 from repro.compression.szlike.lorenzo import lorenzo_encode
 from repro.compression.szlike.quantizer import codes_from_residuals, prequantize
@@ -51,6 +53,15 @@ STEPS = 3 if QUICK else 8
 SCRATCH_SHAPE = (16, 32, 56, 56)
 EB = 1e-3
 DICT = 1024
+
+
+def _probe_shared_compress(comp_bytes, x, key):
+    """Worker-side compress (module-level: the pool pickles it).  The
+    unpickled clone starts with zeroed counters, so the returned stats
+    measure exactly what *this* call did."""
+    comp = pickle.loads(comp_bytes)
+    comp.compress(x, cache_key=key)
+    return comp.codebook_cache.stats()
 
 
 @pytest.fixture(scope="module")
@@ -138,6 +149,32 @@ def test_hotpath_amortized_compress(stream, benchmark):
     scratch_ratio = (peak_words - len(payload)) / len(payload)
     legacy_ratio = (peak_bitplane - len(payload)) / len(payload)
 
+    # -- cross-process codebook cache: steady-state build count ----------
+    # PR 7's claim: process-pool workers adopt published canonical books
+    # from the shared segment instead of rebuilding per worker per step.
+    # Counters, not timings — build count is deterministic, IPC is not.
+    shared = SharedCodebookCache()
+    comp_shared = SZCompressor(EB, entropy="huffman", codebook_cache=shared)
+    rng = np.random.default_rng(12)
+    probe = smooth_activation(rng, (4, 8, 28, 28), sigma=1.2, relu=True)
+    blob = pickle.dumps(comp_shared)
+    worker_stats = []
+    try:
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for _ in range(4):
+                worker_stats.append(
+                    pool.submit(
+                        _probe_shared_compress, blob, probe, ("bench", "shared")
+                    ).result()
+                )
+    finally:
+        shared.close()
+    cold_builds = worker_stats[0]["builds"]
+    steady_builds = sum(s["builds"] for s in worker_stats[1:])
+    steady_calls = len(worker_stats) - 1
+    steady_adoptions = sum(s["shared_adoptions"] for s in worker_stats[1:])
+    shared_adoption_rate = steady_adoptions / steady_calls
+
     snap = profiler.snapshot()
     rows = [
         f"Amortized entropy hot path on {SHAPE} float32 x {STEPS} steps"
@@ -155,6 +192,9 @@ def test_hotpath_amortized_compress(stream, benchmark):
         f"rebuilds (delta/refresh/escape), {stats['escaped_symbols']} escaped symbols",
         f"encode scratch peak: {scratch_ratio:.2f}x payload "
         f"(bit-plane legacy: {legacy_ratio:.2f}x; acceptance: <= 2x)",
+        f"shared codebook cache (process pool): {cold_builds} cold build, "
+        f"{steady_builds} steady-state builds across {steady_calls} worker "
+        f"compresses ({steady_adoptions} segment adoptions)",
         "profiler stages (steady-state loop):",
     ]
     rows += ["  " + line for line in profiler.report_lines()]
@@ -185,11 +225,20 @@ def test_hotpath_amortized_compress(stream, benchmark):
             "legacy_scratch_ratio": metric(
                 legacy_ratio, "x payload", higher_is_better=False
             ),
+            # Deterministic counters: steady-state worker builds must be
+            # zero; the adoption rate (1.0) is the tightly-gated form.
+            "shared_steady_builds": metric(
+                steady_builds, "builds", higher_is_better=False
+            ),
+            "shared_adoption_rate": metric(
+                shared_adoption_rate, "frac", gate=True, tolerance=0.01
+            ),
         },
         context={
             "shape": list(SHAPE),
             "steps": STEPS,
             "cache": stats,
+            "shared_cache": {"cold": worker_stats[0], "steady": worker_stats[-1]},
             "profiler": snap,
         },
     )
@@ -199,6 +248,8 @@ def test_hotpath_amortized_compress(stream, benchmark):
     # is asserted only at full scale where timing noise is small.
     assert scratch_ratio <= 2.0, f"encode scratch {scratch_ratio:.2f}x payload"
     assert stats["hits"] >= STEPS - 1  # the cache actually amortized
+    assert cold_builds == 1 and steady_builds == 0, worker_stats
+    assert shared_adoption_rate == 1.0, worker_stats
     if not QUICK:
         assert speedup_vs_legacy >= 1.5, (
             f"steady-state compress only {speedup_vs_legacy:.2f}x faster than legacy"

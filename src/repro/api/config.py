@@ -196,6 +196,11 @@ class PolicyRule:
         ``"arena"`` / ``"inmem"`` / ``None`` (inherit session storage).
     initial_rel_eb, eb_min, eb_max:
         Per-rule warm-up bound and controller clamp overrides.
+    arena_budget:
+        In-memory sub-budget (bytes) for this rule's packed activations,
+        carved out of the session arena — matched layers spill to disk
+        once their group exceeds it, independently of the global
+        ``storage.budget_bytes``.  Requires arena-backed activations.
     """
 
     match: str = "*"
@@ -208,6 +213,7 @@ class PolicyRule:
     initial_rel_eb: Optional[float] = None
     eb_min: Optional[float] = None
     eb_max: Optional[float] = None
+    arena_budget: Optional[int] = None
 
     def resolved_adaptive(self) -> bool:
         return self.adaptive if self.adaptive is not None else self.error_bound is None
@@ -251,6 +257,21 @@ class PolicyRule:
             raise ConfigError(
                 f"{where}: need eb_min < eb_max, got {self.eb_min} >= {self.eb_max}"
             )
+        if self.arena_budget is not None:
+            if (
+                not isinstance(self.arena_budget, int)
+                or isinstance(self.arena_budget, bool)
+                or self.arena_budget <= 0
+            ):
+                raise ConfigError(
+                    f"{where}: arena_budget must be a positive int or omitted, "
+                    f"got {self.arena_budget!r}"
+                )
+            if self.storage == "inmem":
+                raise ConfigError(
+                    f"{where}: arena_budget requires arena storage, but the "
+                    f"rule pins storage='inmem'"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         return _sparse_dict(
@@ -337,13 +358,24 @@ class StorageSpec:
 
 @dataclass
 class EngineSpec:
-    """Execution strategy for the saved-tensor path."""
+    """Execution strategy for the saved-tensor path.
+
+    ``unpack_depth`` controls the async engine's speculative-decompress
+    window (``None`` follows ``prefetch_depth``, ``0`` disables,
+    ``"auto"`` adapts); ``shared_codebook_cache`` upgrades process-pool
+    chunked codecs to a cross-process codebook segment;
+    ``bind_window_bytes`` groups adjacent small layers into one
+    param-store bind window (``0`` disables).
+    """
 
     kind: str = "sync"  # "sync" | "async"
     workers: int = 2
     prefetch_depth: Union[int, str] = 2  # int or "auto"
     max_pending: Optional[int] = None
     max_auto_depth: int = 8
+    unpack_depth: Union[int, str, None] = None  # int, "auto", or follow prefetch
+    shared_codebook_cache: bool = False
+    bind_window_bytes: int = 0
 
     def validate(self, where: str = "engine") -> None:
         if self.kind not in ("sync", "async"):
@@ -363,6 +395,19 @@ class EngineSpec:
                 f"{where}: prefetch_depth must be an int >= 0 or 'auto', "
                 f"got {self.prefetch_depth!r}"
             )
+        if isinstance(self.unpack_depth, str):
+            if self.unpack_depth != "auto":
+                raise ConfigError(
+                    f"{where}: unpack_depth must be an int >= 0, 'auto', or "
+                    f"omitted, got {self.unpack_depth!r}"
+                )
+        elif self.unpack_depth is not None and (
+            not isinstance(self.unpack_depth, int) or self.unpack_depth < 0
+        ):
+            raise ConfigError(
+                f"{where}: unpack_depth must be an int >= 0, 'auto', or "
+                f"omitted, got {self.unpack_depth!r}"
+            )
         if self.max_pending is not None and (
             not isinstance(self.max_pending, int) or self.max_pending < 1
         ):
@@ -374,6 +419,18 @@ class EngineSpec:
             raise ConfigError(
                 f"{where}: max_auto_depth must be an int >= 1, "
                 f"got {self.max_auto_depth!r}"
+            )
+        if not isinstance(self.shared_codebook_cache, bool):
+            raise ConfigError(
+                f"{where}: shared_codebook_cache must be a bool, "
+                f"got {self.shared_codebook_cache!r}"
+            )
+        if not isinstance(self.bind_window_bytes, int) or isinstance(
+            self.bind_window_bytes, bool
+        ) or self.bind_window_bytes < 0:
+            raise ConfigError(
+                f"{where}: bind_window_bytes must be an int >= 0, "
+                f"got {self.bind_window_bytes!r}"
             )
 
     def build(self):
@@ -387,6 +444,7 @@ class EngineSpec:
             prefetch_depth=self.prefetch_depth,
             max_pending=self.max_pending,
             max_auto_depth=self.max_auto_depth,
+            unpack_depth=self.unpack_depth,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -602,6 +660,12 @@ class SessionConfig:
                     f"storage.activations='arena' on the session (no arena is "
                     f"configured to put the bytes in)"
                 )
+            if rule.arena_budget is not None and self.storage.activations != "arena":
+                raise ConfigError(
+                    f"rules[{i}] (match={rule.match!r}): arena_budget needs "
+                    f"storage.activations='arena' on the session (there is no "
+                    f"arena to carve the sub-budget out of)"
+                )
             # A partial clamp override combines with the session's global
             # clamp at runtime — cross-check here so the pair fails at
             # load time, not at the controller's first update.
@@ -790,9 +854,29 @@ def capture_session_config(
                 prefetch_depth="auto" if engine.adaptive_prefetch else engine.prefetch_depth,
                 max_pending=engine.max_pending,
                 max_auto_depth=engine.max_auto_depth,
+                unpack_depth=engine.unpack_depth,
             )
         else:
             return None
+
+    # The engine block above rebuilds EngineSpec wholesale, so knobs the
+    # spec hosts on behalf of other components apply afterwards.
+    if isinstance(param_storage, ParamStore) and param_storage.bind_window_bytes:
+        cfg.engine.bind_window_bytes = int(param_storage.bind_window_bytes)
+    if compressor is not None and not isinstance(compressor, str):
+        from repro.compression.szlike import SharedCodebookCache
+
+        probe = compressor
+        while True:
+            cache = getattr(probe, "codebook_cache", None)
+            if cache is not None:
+                if isinstance(cache, SharedCodebookCache):
+                    cfg.engine.shared_codebook_cache = True
+                break
+            inner = getattr(probe, "inner", None)
+            if inner is None:
+                break
+            probe = inner
 
     if policy_table is not None:
         rules = getattr(policy_table, "source_rules", None)

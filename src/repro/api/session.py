@@ -56,6 +56,7 @@ def build_policy_table(rules: List[PolicyRule]) -> Optional[PolicyTable]:
                     initial_rel_eb=rule.initial_rel_eb,
                     eb_min=rule.eb_min,
                     eb_max=rule.eb_max,
+                    arena_budget=rule.arena_budget,
                 ),
             )
         )
@@ -214,6 +215,7 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
             ),
             dirty_tracking=config.storage.param_dirty_tracking,
             spill_dir=config.storage.spill_dir,
+            bind_window_bytes=config.engine.bind_window_bytes,
         )
 
     profiler = True if config.profiler.enabled else None
@@ -224,16 +226,32 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
         )
         return Session(network, optimizer, trainer, config)
 
+    table = build_policy_table(config.rules)
+    if storage is not None and table is not None:
+        for pol in table.rules:
+            if pol.arena_budget is not None:
+                storage.set_group_budget(pol.label, pol.arena_budget)
+
+    compressor = config.codec.build()
+    if config.engine.shared_codebook_cache:
+        from repro.compression.registry import ensure_shared_codebook_cache
+
+        ensure_shared_codebook_cache(compressor)
+        if table is not None:
+            for pol in table.rules:
+                if pol.codec is not None:
+                    ensure_shared_codebook_cache(pol.codec)
+
     trainer = Trainer(network, optimizer, profiler=profiler)
     compressed = CompressedTraining(
         network,
         optimizer,
-        compressor=config.codec.build(),
+        compressor=compressor,
         config=config.adaptive.to_adaptive_config(),
         storage=storage,
         param_storage=param_storage,
         engine=config.engine.build(),
-        policy_table=build_policy_table(config.rules),
+        policy_table=table,
         adaptive=config.adaptive.enabled,
     ).attach(trainer)
     return Session(network, optimizer, trainer, config, compressed=compressed)

@@ -1,7 +1,12 @@
 """Compression substrate: SZ-style error-bounded compressor, baselines,
 and the unified codec registry (:mod:`repro.compression.registry`)."""
 
-from repro.compression.szlike import CodebookCache, CompressedTensor, SZCompressor
+from repro.compression.szlike import (
+    CodebookCache,
+    CompressedTensor,
+    SharedCodebookCache,
+    SZCompressor,
+)
 from repro.compression.jpeg_like import JpegLikeCompressor, JpegCompressedTensor
 from repro.compression.lossless import (
     DeflateCompressor,
@@ -29,6 +34,7 @@ from repro.compression.metrics import (
 __all__ = [
     "SZCompressor",
     "CodebookCache",
+    "SharedCodebookCache",
     "CompressedTensor",
     "JpegLikeCompressor",
     "JpegCompressedTensor",

@@ -52,7 +52,7 @@ from repro.compression.lossless import (
     LosslessCompressedTensor,
     SparseLosslessCompressor,
 )
-from repro.compression.szlike import CompressedTensor, SZCompressor
+from repro.compression.szlike import CompressedTensor, SharedCodebookCache, SZCompressor
 from repro.compression.szlike import serialize as _szser
 
 __all__ = [
@@ -67,6 +67,7 @@ __all__ = [
     "ChunkedCodec",
     "ChunkedCompressedTensor",
     "CHUNK_HEADER_BYTES",
+    "ensure_shared_codebook_cache",
 ]
 
 
@@ -200,7 +201,8 @@ def spec_of(codec: Codec) -> Dict[str, Any]:
         options.update(
             _nondefault_options(
                 codec,
-                ("workers", "min_chunk_nbytes", "executor", "share_codebook"),
+                ("workers", "min_chunk_nbytes", "executor", "share_codebook",
+                 "shared_cache"),
                 _ctor_defaults(ChunkedCodec),
             )
         )
@@ -439,9 +441,14 @@ def _profiled_chunk_op(packed):
 
 
 def _chunk_compress(args):
-    codec, part, error_bound, codebook = args
+    codec, part, error_bound, codebook, cache_key = args
     if codebook is not None:
         return codec.compress(part, error_bound=error_bound, codebook=codebook)
+    if cache_key is not None:
+        # Per-chunk cache keys: in a process pool the worker's codec copy
+        # consults the (shared) codebook cache, so steady-state chunk
+        # compresses adopt published books instead of rebuilding.
+        return codec.compress(part, error_bound=error_bound, cache_key=cache_key)
     return codec.compress(part, error_bound=error_bound)
 
 
@@ -566,6 +573,7 @@ class ChunkedCodec:
         min_chunk_nbytes: int = 1 << 20,
         executor: str = "thread",
         share_codebook: bool = True,
+        shared_cache: bool = True,
         **inner_kwargs,
     ):
         if isinstance(inner, str):
@@ -583,6 +591,20 @@ class ChunkedCodec:
         self.min_chunk_nbytes = int(min_chunk_nbytes)
         self.executor = executor
         self.share_codebook = bool(share_codebook)
+        self.shared_cache = bool(shared_cache)
+        # A plain CodebookCache empties itself at the process boundary,
+        # so a process-pool inner would rebuild canonical books in every
+        # worker.  Upgrade it to the serialized-segment shared cache —
+        # same keys, same staleness checks, same escape contract — so
+        # workers adopt published books instead of rebuilding.
+        inner_cache = getattr(inner, "codebook_cache", None)
+        if (
+            executor == "process"
+            and self.shared_cache
+            and inner_cache is not None
+            and not isinstance(inner_cache, SharedCodebookCache)
+        ):
+            inner.codebook_cache = SharedCodebookCache.from_cache(inner_cache)
         self.error_bounded = bool(getattr(inner, "error_bounded", False))
         self.lossless = bool(getattr(inner, "lossless", False))
         # Persistent pool: compress/decompress sit on the per-layer
@@ -691,8 +713,8 @@ class ChunkedCodec:
             shared = first.codebook  # None for book-less entropy stages
             rest = self._run(
                 _chunk_compress,
-                [(p, error_bound, shared) for p in parts[1:]],
-                lambda p, eb, cb: self.inner.compress(p, error_bound=eb, codebook=cb)
+                [(p, error_bound, shared, None) for p in parts[1:]],
+                lambda p, eb, cb, ck: self.inner.compress(p, error_bound=eb, codebook=cb)
                 if cb is not None
                 else self.inner.compress(p, error_bound=eb),
             )
@@ -701,10 +723,25 @@ class ChunkedCodec:
             # unsplit tensors still amortize through the inner cache
             chunks = [self.inner.compress(parts[0], error_bound=error_bound, cache_key=cache_key)]
         else:
+            # Without codebook sharing, chunks amortize individually: each
+            # chunk index gets its own stable cache key, so its book reuse
+            # decisions depend only on that chunk's own history (the same
+            # per-key independence the cache's determinism rests on).
+            chunk_keys = supports_key and cache_key is not None
             chunks = self._run(
                 _chunk_compress,
-                [(p, error_bound, None) for p in parts],
-                lambda p, eb, cb: self.inner.compress(p, error_bound=eb),
+                [
+                    (
+                        p,
+                        error_bound,
+                        None,
+                        (cache_key, "chunk", i) if chunk_keys else None,
+                    )
+                    for i, p in enumerate(parts)
+                ],
+                lambda p, eb, cb, ck: self.inner.compress(p, error_bound=eb, cache_key=ck)
+                if ck is not None
+                else self.inner.compress(p, error_bound=eb),
             )
         container_book = None
         if shared is not None:
@@ -762,3 +799,23 @@ class ChunkedCodec:
 
 
 register_codec("chunked", ChunkedCodec)
+
+
+def ensure_shared_codebook_cache(codec: Any) -> bool:
+    """Upgrade *codec*'s codebook cache to a :class:`SharedCodebookCache`.
+
+    Recurses through :class:`ChunkedCodec` wrappers to the inner codec.
+    Returns True when the codec now has (or already had) a shared cache;
+    False for codecs without a codebook cache (nothing to share — e.g.
+    jpeg/lossless, or ``codebook_cache=False``), which is a no-op, not
+    an error: a session-wide switch must tolerate mixed rule codecs.
+    """
+    if isinstance(codec, ChunkedCodec):
+        return ensure_shared_codebook_cache(codec.inner)
+    cache = getattr(codec, "codebook_cache", None)
+    if cache is None:
+        return False
+    if isinstance(cache, SharedCodebookCache):
+        return True
+    codec.codebook_cache = SharedCodebookCache.from_cache(cache)
+    return True

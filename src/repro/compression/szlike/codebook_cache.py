@@ -39,15 +39,23 @@ the async engine's pack pool share a single compressor instance.
 
 from __future__ import annotations
 
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
 from repro.compression.szlike.huffman import HuffmanCodebook, entropy_bits_from_hist
 
-__all__ = ["CodebookCache"]
+try:  # POSIX advisory file locking for the shared segment (see below)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["CodebookCache", "SharedCodebookCache"]
 
 #: accounting price of one escaped symbol, in bits: the marker codeword
 #: is charged separately via ``lengths[0]``; the escaped residual itself
@@ -277,3 +285,242 @@ class CodebookCache:
         from repro.core.sanitizer import maybe_instrument
 
         maybe_instrument(self, "codebook_cache")
+
+
+class SharedCodebookCache(CodebookCache):
+    """Cross-process codebook cache over a serialized-segment file.
+
+    The plain :class:`CodebookCache` empties itself when pickled, so
+    every ``ChunkedCodec(executor="process")`` worker used to rebuild
+    canonical books from scratch — the exact amortization the cache
+    exists to provide, lost at the process boundary.  This subclass
+    backs the same API with one shared *segment*: a small file holding
+    ``{key: lengths_bytes}`` for every published codebook (canonical
+    books are fully determined by their length arrays, so the wire cost
+    is one byte per alphabet symbol per key).
+
+    * **Publish** — whenever a lookup (re)builds a book, the process's
+      entries are merged into the segment under an exclusive
+      ``fcntl.flock`` (read-merge-write, so concurrent publishers never
+      lose each other's keys).  Hits never publish.
+    * **Adopt** — a lookup for a locally unknown key first consults the
+      segment (shared ``flock``) and installs the published book via
+      :meth:`HuffmanCodebook.from_lengths` — an O(alphabet) canonical
+      reconstruction, no heap loop.  The adopted entry then flows
+      through the ordinary staleness checks, so the refresh/δ/escape
+      contract (and the unconditional outlier-escape bound) is
+      unchanged.
+    * **Degrade** — every segment error (unreadable, unwritable,
+      truncated) falls back to plain per-process caching and bumps
+      ``segment_errors``; correctness never depends on the segment.
+
+    Pickled copies (what process-pool workers receive) keep the segment
+    path but never own the file; the creator removes it in
+    :meth:`close`.  Determinism: publishes happen inside the worker's
+    task, before its result returns, and the chunked codec's ``map`` is
+    a barrier — so the set of published books visible at step *t+1* is a
+    deterministic function of the work completed through step *t*.
+    """
+
+    def __init__(
+        self,
+        refresh_interval: int = 64,
+        delta: float = 0.10,
+        max_escape_ratio: float = 0.02,
+        max_entries: int = 512,
+        segment_path: Optional[str] = None,
+    ):
+        super().__init__(
+            refresh_interval=refresh_interval,
+            delta=delta,
+            max_escape_ratio=max_escape_ratio,
+            max_entries=max_entries,
+        )
+        if segment_path is None:
+            fd, segment_path = tempfile.mkstemp(
+                prefix="repro-codebooks-", suffix=".seg"
+            )
+            os.close(fd)
+            self._owns_segment = True
+        else:
+            self._owns_segment = False
+        self.segment_path = segment_path
+        self._creator_pid = os.getpid()
+        # -- shared-segment statistics (guarded like the base counters) ----
+        self.shared_adoptions = 0  # entries adopted from the segment
+        self.publishes = 0  # merges written to the segment
+        self.segment_errors = 0  # degraded-to-local events
+
+    @classmethod
+    def from_cache(
+        cls, cache: CodebookCache, segment_path: Optional[str] = None
+    ) -> "SharedCodebookCache":
+        """A shared cache with the same staleness knobs as *cache*."""
+        return cls(
+            refresh_interval=cache.refresh_interval,
+            delta=cache.delta,
+            max_escape_ratio=cache.max_escape_ratio,
+            max_entries=cache.max_entries,
+            segment_path=segment_path,
+        )
+
+    # -- segment I/O (never under self._lock: file waits must not stall
+    # -- other keys' lookups, and the lock is non-reentrant) ---------------
+    def _decode_segment(self, raw: bytes) -> Dict[Hashable, bytes]:
+        if not raw:
+            return {}
+        try:
+            doc = pickle.loads(raw)
+        except Exception:
+            with self._lock:
+                self.segment_errors += 1
+            return {}
+        return doc if isinstance(doc, dict) else {}
+
+    def _read_segment(self) -> Dict[Hashable, bytes]:
+        try:
+            with open(self.segment_path, "rb") as f:
+                if fcntl is not None:
+                    fcntl.flock(f.fileno(), fcntl.LOCK_SH)
+                try:
+                    raw = f.read()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(f.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            with self._lock:
+                self.segment_errors += 1
+            return {}
+        return self._decode_segment(raw)
+
+    def _rewrite_segment(self, mutate: Callable[[Dict[Hashable, bytes]], None]) -> None:
+        """Read-merge-write the segment under an exclusive file lock.
+
+        In-place rewrite on the flocked fd keeps one stable inode for
+        every locker; without ``fcntl`` (non-POSIX) a tmp-file
+        ``os.replace`` keeps readers tear-free instead.
+        """
+        try:
+            with open(self.segment_path, "a+b") as f:
+                if fcntl is not None:
+                    fcntl.flock(f.fileno(), fcntl.LOCK_EX)
+                try:
+                    f.seek(0)
+                    merged = self._decode_segment(f.read())
+                    mutate(merged)
+                    payload = pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL)
+                    if fcntl is not None:
+                        f.seek(0)
+                        f.truncate()
+                        f.write(payload)
+                        f.flush()
+                    else:  # pragma: no cover - non-POSIX fallback
+                        tmp = self.segment_path + ".tmp"
+                        with open(tmp, "wb") as g:
+                            g.write(payload)
+                        os.replace(tmp, self.segment_path)
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(f.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            with self._lock:
+                self.segment_errors += 1
+            return
+        with self._lock:
+            self.publishes += 1
+
+    def _adopt(self, key: Hashable) -> None:
+        """Install *key*'s published codebook from the segment, if any."""
+        lengths = self._read_segment().get(key)
+        if not isinstance(lengths, bytes) or not lengths:
+            return
+        book = HuffmanCodebook.from_lengths(
+            np.frombuffer(lengths, dtype=np.uint8).copy()
+        )
+        with self._lock:
+            if key not in self._entries:
+                self._install(key, book)
+                self.shared_adoptions += 1
+
+    # -- API ---------------------------------------------------------------
+    def lookup(self, key: Hashable, hist: np.ndarray) -> Tuple[HuffmanCodebook, bool]:
+        with self._lock:
+            known = key in self._entries
+        if not known:
+            self._adopt(key)
+        book, reused = super().lookup(key, hist)
+        if not reused:
+            # Merge every local entry, not just this key: publishes heal
+            # any update another process lost to a crash mid-run.
+            with self._lock:
+                local = {
+                    k: e.codebook.lengths.tobytes() for k, e in self._entries.items()
+                }
+            self._rewrite_segment(lambda merged: merged.update(local))
+        return book, reused
+
+    def invalidate(self, key: Hashable = None) -> None:
+        super().invalidate(key)
+        if key is None:
+            self._rewrite_segment(lambda merged: merged.clear())
+        else:
+            self._rewrite_segment(lambda merged: merged.pop(key, None))
+
+    def stats(self) -> dict:
+        out = super().stats()
+        with self._lock:
+            out["shared_adoptions"] = self.shared_adoptions
+            out["publishes"] = self.publishes
+            out["segment_errors"] = self.segment_errors
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Remove the owned segment file.  Pickled (worker-side) copies
+        never own it, so worker teardown cannot yank the segment out
+        from under the parent."""
+        if self._owns_segment and os.getpid() == self._creator_pid:
+            self._owns_segment = False
+            try:
+                os.remove(self.segment_path)
+            except OSError:
+                pass
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["_owns_segment"] = False
+        # A pickled copy is a fresh participant (a pool worker): zero the
+        # counters so worker-side stats measure worker activity only —
+        # "builds == 0 in the worker" is the cross-process cache-hit
+        # assertion the tests pin.
+        for counter in (
+            "hits",
+            "builds",
+            "rebuilds_delta",
+            "rebuilds_refresh",
+            "rebuilds_escape",
+            "escaped_symbols",
+            "evictions",
+            "shared_adoptions",
+            "publishes",
+            "segment_errors",
+        ):
+            state[counter] = 0
+        return state
+
+    def __repr__(self) -> str:
+        with self._lock:
+            entries = len(self._entries)
+            adoptions = self.shared_adoptions
+            publishes = self.publishes
+        return (
+            f"SharedCodebookCache(entries={entries}, "
+            f"adoptions={adoptions}, publishes={publishes}, "
+            f"segment={os.path.basename(self.segment_path)!r})"
+        )

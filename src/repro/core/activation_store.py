@@ -94,6 +94,9 @@ class PackedActivation:
     _pack_future: Optional[object] = field(default=None, repr=False)
     _prefetch_future: Optional[object] = field(default=None, repr=False)
     _live_pos: Optional[int] = field(default=None, repr=False)
+    #: True while this handle's raw bytes are charged to the engine's
+    #: decode-ahead budget (speculative decompress in flight)
+    _unpack_charged: bool = field(default=False, repr=False)
 
 
 class BaseCompressionContext(SavedTensorContext):
@@ -208,7 +211,11 @@ class BaseCompressionContext(SavedTensorContext):
         ct, blob, extra = payload
         if self.storage is not None and blob is not None:
             handle.stored_nbytes = len(blob)
-            handle.arena_key = self.storage.put(blob)
+            # The policy-group tag lets per-rule arena budgets attribute
+            # (and bound) this entry's residency.
+            handle.arena_key = self.storage.put(
+                blob, group=handle.policy_label or None
+            )
         else:
             handle.stored_nbytes = ct.nbytes
             handle.compressed = ct

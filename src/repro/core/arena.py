@@ -71,6 +71,16 @@ class ByteArena:
         #: disk entry stays authoritative until the key is discarded
         self._staged: Dict[int, bytes] = {}
         self._next_key = 0
+        #: key -> group label for entries stored with ``put(group=...)``
+        self._group_of: Dict[int, str] = {}
+        #: group label -> in-memory sub-budget (see :meth:`set_group_budget`)
+        self._group_budgets: Dict[str, int] = {}
+        #: group label -> resident bytes currently charged to the group
+        self._group_mem: Dict[str, int] = {}
+        #: group label -> bytes currently spilled out of the group
+        self._group_spilled: Dict[str, int] = {}
+        #: group label -> number of entries ever spilled from the group
+        self._group_spill_count: Dict[str, int] = {}
         #: unique per-arena spill-file prefix so arenas sharing a
         #: spill_dir cannot clobber each other's entries
         self._tag = uuid.uuid4().hex[:12]
@@ -112,9 +122,9 @@ class ByteArena:
             os.makedirs(self._spill_dir, exist_ok=True)
         return self._spill_dir
 
-    def _spill_oldest(self) -> None:
-        """Write the FIFO-oldest entry to disk (callers hold the lock)."""
-        key, data = self._mem.popitem(last=False)
+    def _spill_entry(self, key: int) -> None:
+        """Write the entry for *key* to disk (callers hold the lock)."""
+        data = self._mem.pop(key)
         path = os.path.join(self._ensure_spill_dir(), f"{self._tag}-{key}.bin")
         with open(path, "wb") as f:
             f.write(data)
@@ -122,9 +132,29 @@ class ByteArena:
         self.in_memory_nbytes -= len(data)
         self.spilled_nbytes += len(data)
         self.spill_count += 1
+        group = self._group_of.get(key)
+        if group is not None:
+            self._group_mem[group] -= len(data)
+            self._group_spilled[group] = self._group_spilled.get(group, 0) + len(data)
+            self._group_spill_count[group] = self._group_spill_count.get(group, 0) + 1
+
+    def _spill_oldest(self) -> None:
+        """Write the FIFO-oldest entry to disk (callers hold the lock)."""
+        self._spill_entry(next(iter(self._mem)))
 
     def _maybe_spill(self) -> None:
-        """Spill until under budget (callers hold the lock)."""
+        """Spill until under the global and per-group budgets (callers
+        hold the lock).  Group budgets are enforced first so a hot group
+        spills its own oldest entries rather than pushing the overflow
+        onto unbudgeted groups via the global FIFO."""
+        for group, budget in self._group_budgets.items():
+            while self._group_mem.get(group, 0) > budget:
+                key = next(
+                    (k for k in self._mem if self._group_of.get(k) == group), None
+                )
+                if key is None:
+                    break
+                self._spill_entry(key)
         if self.budget_bytes is None:
             return
         while self._mem and self.in_memory_nbytes > self.budget_bytes:
@@ -140,8 +170,12 @@ class ByteArena:
         self.peak_total_nbytes = max(self.peak_total_nbytes, self.total_nbytes)
 
     # -- API ---------------------------------------------------------------
-    def put(self, data: bytes) -> int:
-        """Store *data*; returns the key for :meth:`get`/:meth:`pop`."""
+    def put(self, data: bytes, group: Optional[str] = None) -> int:
+        """Store *data*; returns the key for :meth:`get`/:meth:`pop`.
+
+        *group* tags the entry for per-group budget accounting (see
+        :meth:`set_group_budget`); untagged entries are only subject to
+        the arena-wide budget."""
         with profiler.stage("arena-io"), self._lock:
             if self._closed:
                 raise RuntimeError("arena is closed")
@@ -150,11 +184,49 @@ class ByteArena:
             blob = self._copy_in(data)
             self._mem[key] = blob
             self.in_memory_nbytes += len(blob)
+            if group is not None:
+                self._group_of[key] = group
+                self._group_mem[group] = self._group_mem.get(group, 0) + len(blob)
             # Peaks reflect the true resident high-water mark: the new entry
             # is held in memory before any spill relieves the budget.
             self._track_peaks()
             self._maybe_spill()
             return key
+
+    def set_group_budget(self, group: str, budget_bytes: int) -> None:
+        """Cap the resident bytes of entries tagged with *group*.
+
+        Entries stored via ``put(data, group=...)`` share the group's
+        sub-budget, carved out of (and enforced in addition to) the
+        arena-wide ``budget_bytes``; overflowing entries spill to disk
+        oldest-first within the group.  Takes effect immediately:
+        already-resident entries over the cap are spilled on the spot.
+        """
+        if budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            self._group_budgets[group] = budget_bytes
+            self._maybe_spill()
+
+    def group_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-group accounting for every group with a budget or live
+        entries: budget (-1 when unbudgeted), resident bytes, spilled
+        bytes, and cumulative spill count."""
+        with self._lock:
+            groups = set(self._group_budgets)
+            groups.update(self._group_mem)
+            groups.update(self._group_spilled)
+            return {
+                group: {
+                    "budget_bytes": self._group_budgets.get(group, -1),
+                    "in_memory_nbytes": self._group_mem.get(group, 0),
+                    "spilled_nbytes": self._group_spilled.get(group, 0),
+                    "spill_count": self._group_spill_count.get(group, 0),
+                }
+                for group in sorted(groups)
+            }
 
     def get(self, key: int) -> bytes:
         """Read the bytes for *key* without releasing the entry.
@@ -270,15 +342,20 @@ class ByteArena:
             if staged is not None:
                 self.prefetched_nbytes -= len(staged)
                 self._on_release(staged)
+            group = self._group_of.pop(key, None)
             if key in self._mem:
                 buf = self._mem.pop(key)
                 self.in_memory_nbytes -= len(buf)
+                if group is not None:
+                    self._group_mem[group] -= len(buf)
                 self._on_release(buf)
                 return
             entry = self._disk.pop(key, None)
             if entry is not None:
                 path, nbytes = entry
                 self.spilled_nbytes -= nbytes
+                if group is not None:
+                    self._group_spilled[group] -= nbytes
                 try:
                     os.remove(path)
                 except OSError:
@@ -317,6 +394,9 @@ class ByteArena:
                 except OSError:
                     pass
             self._disk.clear()
+            self._group_of.clear()
+            self._group_mem.clear()
+            self._group_spilled.clear()
             self.in_memory_nbytes = 0
             self.spilled_nbytes = 0
             self.prefetched_nbytes = 0

@@ -148,8 +148,26 @@ class AsyncEngine(CompressionEngine):
         materialization spans* — clamped to ``[1, max_auto_depth]``.
         Slow codecs over fast layers prefetch deeper; fast codecs stop
         wasting pool slots on work the inline path would win anyway.
+    unpack_depth:
+        Decouples the *speculative decompress* window (double-buffered
+        unpack: layer i−1's saved activation decompressed on the pool
+        — decode tables hydrated on the worker — while layer i's
+        backward computes) from the byte-staging window.  ``None``
+        (default) keeps the historical coupling: both windows follow
+        ``prefetch_depth``.  An int ``>= 0`` fixes the decompress
+        window independently (``0`` = never decompress speculatively,
+        byte staging still follows ``prefetch_depth``); ``"auto"``
+        sizes it from the same latency model as adaptive prefetch.
+    unpack_budget_bytes:
+        Decode-ahead budget: cap on the summed raw (decompressed) bytes
+        of in-flight speculative decompress jobs.  Scheduling-only — an
+        over-budget window defers jobs to the inline path (counted in
+        ``unpack_budget_deferrals``), never changes results.  The first
+        job is always admitted so progress cannot stall.  ``None``
+        disables the bound.
     max_auto_depth:
-        Clamp for the adaptive depth (only with ``prefetch_depth="auto"``).
+        Clamp for the adaptive depth (with ``prefetch_depth="auto"``
+        and/or ``unpack_depth="auto"``).
     max_pending:
         Backpressure bound on the pack queue (default ``4 * workers``).
         Every queued job closure keeps its raw activation alive, so an
@@ -172,6 +190,8 @@ class AsyncEngine(CompressionEngine):
         prefetch_depth: Union[int, str] = 2,
         max_pending: Optional[int] = None,
         max_auto_depth: int = 8,
+        unpack_depth: Union[int, str, None] = None,
+        unpack_budget_bytes: Optional[int] = 64 << 20,
     ) -> None:
         super().__init__()
         if workers < 1:
@@ -185,6 +205,20 @@ class AsyncEngine(CompressionEngine):
             )
         elif prefetch_depth < 0:
             raise ValueError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
+        self.adaptive_unpack = unpack_depth == "auto"
+        if unpack_depth is not None and not self.adaptive_unpack:
+            if isinstance(unpack_depth, str):
+                raise ValueError(
+                    f"unpack_depth must be an int >= 0, 'auto', or None, "
+                    f"got {unpack_depth!r}"
+                )
+            if unpack_depth < 0:
+                raise ValueError(f"unpack_depth must be >= 0, got {unpack_depth}")
+            unpack_depth = int(unpack_depth)
+        if unpack_budget_bytes is not None and unpack_budget_bytes < 1:
+            raise ValueError(
+                f"unpack_budget_bytes must be >= 1 or None, got {unpack_budget_bytes}"
+            )
         if max_auto_depth < 1:
             raise ValueError(f"max_auto_depth must be >= 1, got {max_auto_depth}")
         if max_pending is None:
@@ -193,8 +227,17 @@ class AsyncEngine(CompressionEngine):
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.workers = int(workers)
         self.prefetch_depth = int(prefetch_depth)
+        #: the configured spec (None = follow prefetch_depth, int, "auto")
+        self.unpack_depth = unpack_depth
+        self.unpack_budget_bytes = unpack_budget_bytes
         self.max_pending = int(max_pending)
         self.max_auto_depth = int(max_auto_depth)
+        #: current adaptive decompress window (only with unpack_depth="auto")
+        self._unpack_depth_now = 1
+        #: raw bytes of in-flight, not-yet-consumed speculative decompress
+        #: jobs (training-thread state: charged at submit, released when
+        #: the future is consumed or dropped)
+        self._unpack_inflight_bytes = 0
         # -- adaptive-depth latency model (EMAs, guarded by a lock: job
         # -- durations are reported from worker threads) ------------------
         self._ema_lock = threading.Lock()
@@ -222,9 +265,18 @@ class AsyncEngine(CompressionEngine):
         #: staging requests for upcoming layers' spilled *parameter* bytes
         #: (contexts with an attached ParamStore only)
         self.param_stages_scheduled = 0
+        #: forward-side next-bind-window weight staging requests
+        self.forward_param_stages = 0
+        #: speculative decompress jobs cancelled before running at close()
+        self.unpacks_cancelled = 0
+        #: decompress jobs deferred to the inline path by the decode-ahead
+        #: budget (bytes staged instead, so the miss still starts warm)
+        self.unpack_budget_deferrals = 0
         #: latest depth the adaptive controller settled on (mirrors
         #: ``prefetch_depth`` for fixed-depth engines)
         self.last_effective_depth = self.prefetch_depth
+        #: latest speculative-decompress window actually used
+        self.last_effective_unpack_depth = 0
         from repro.core.sanitizer import maybe_instrument
 
         maybe_instrument(self, "engine")
@@ -243,23 +295,43 @@ class AsyncEngine(CompressionEngine):
             prev = getattr(self, attr)
             setattr(self, attr, value if prev is None else prev + alpha * (value - prev))
 
+    def _auto_depth(self, current: int) -> int:
+        """ceil(materialize time / backward gap), clamped — deep enough
+        that a materialization started now completes before the training
+        thread consumes it, no deeper.  Returns *current* until both
+        latency estimates exist."""
+        with self._ema_lock:
+            gap, job = self._gap_ema, self._job_ema
+        if gap is not None and job is not None and gap > 0:
+            return max(1, min(-int(-job // gap), self.max_auto_depth))
+        return current
+
     def _effective_depth(self) -> int:
         """Prefetch window for this point in the backward pass.
 
         Fixed engines return their configured depth; adaptive engines
-        size the window as ceil(materialize time / backward gap) — deep
-        enough that a materialization started now completes before the
-        training thread consumes it, no deeper.
+        size the window from the latency model (:meth:`_auto_depth`).
         """
         if not self.adaptive_prefetch:
             return self.prefetch_depth
-        with self._ema_lock:
-            gap, job = self._gap_ema, self._job_ema
-        if gap is not None and job is not None and gap > 0:
-            depth = max(1, min(-int(-job // gap), self.max_auto_depth))
-            self.prefetch_depth = depth  # visible current setting
+        self.prefetch_depth = self._auto_depth(self.prefetch_depth)
         self.last_effective_depth = self.prefetch_depth
         return self.prefetch_depth
+
+    def _effective_unpack_depth(self) -> int:
+        """Speculative-decompress window for this point in the backward
+        pass: the configured ``unpack_depth``, the adaptive estimate,
+        or — with ``unpack_depth=None`` — the prefetch window (the
+        historical coupled behaviour)."""
+        if self.unpack_depth is None:
+            depth = self._effective_depth()
+        elif self.adaptive_unpack:
+            self._unpack_depth_now = self._auto_depth(self._unpack_depth_now)
+            depth = self._unpack_depth_now
+        else:
+            depth = self.unpack_depth
+        self.last_effective_unpack_depth = depth
+        return depth
 
     def _finalize_next(self) -> None:
         handle = self._pending.popleft()
@@ -290,6 +362,33 @@ class AsyncEngine(CompressionEngine):
         while self._pending and self._pending[0]._pack_future.done():
             self._finalize_next()
 
+    @staticmethod
+    def _hydrate_codebooks(ct: Any) -> None:
+        """Build the dense Huffman decode tables on the worker thread.
+
+        The tables are cached on the codebook object, so hydrating here
+        moves their (one-off per codebook) construction off the critical
+        path — for cached canonical books shared across iterations, every
+        later decode of the same book finds them warm.  Building is
+        idempotent, so a racing decode on another thread is harmless.
+        """
+        books = []
+        for attr in ("codebook", "shared_codebook"):
+            book = getattr(ct, attr, None)
+            if book is not None:
+                books.append(book)
+        for chunk in getattr(ct, "chunks", None) or ():
+            book = getattr(chunk, "codebook", None)
+            if book is not None:
+                books.append(book)
+        for book in books:
+            build = getattr(book, "decode_tables", None)
+            if callable(build):
+                try:
+                    build()
+                except Exception:
+                    pass  # decode will surface any real problem inline
+
     def _prefetch_job(self, handle: Any):
         """Worker-side speculative materialization; never raises.
 
@@ -298,20 +397,46 @@ class AsyncEngine(CompressionEngine):
         job duration feeds the adaptive-depth latency model.
         """
         try:
-            t0 = time.perf_counter()
-            ct = handle.compressed
-            if ct is None:
-                # get() consumes the staged copy when the stage-ahead
-                # window already read the spill file back into memory.
-                ct = self._ctx._loads(self._ctx.storage.get(handle.arena_key))
-            # The layer name rides along so policy-table contexts can
-            # dispatch to the codec that packed this layer.
-            out = self._ctx._decompress(ct, handle.layer_name)
-            if self.adaptive_prefetch:
+            with profiler.stage("unpack-ahead", hidden=True):
+                t0 = time.perf_counter()
+                ct = handle.compressed
+                if ct is None:
+                    # get() consumes the staged copy when the stage-ahead
+                    # window already read the spill file back into memory.
+                    ct = self._ctx._loads(self._ctx.storage.get(handle.arena_key))
+                self._hydrate_codebooks(ct)
+                # The layer name rides along so policy-table contexts can
+                # dispatch to the codec that packed this layer.
+                out = self._ctx._decompress(ct, handle.layer_name)
+            if self.adaptive_prefetch or self.adaptive_unpack:
                 self._update_ema("_job_ema", time.perf_counter() - t0)
             return ct, out
         except Exception:
             return None
+
+    # -- decode-ahead budget (training-thread state, no lock needed) -------
+    def _charge_unpack(self, handle: Any) -> bool:
+        """Admit *handle* to the decode-ahead budget, or refuse.
+
+        The first in-flight job is always admitted (progress guarantee);
+        beyond that, admission requires the summed raw bytes to stay
+        within ``unpack_budget_bytes``.
+        """
+        budget = self.unpack_budget_bytes
+        if (
+            budget is not None
+            and self._unpack_inflight_bytes
+            and self._unpack_inflight_bytes + handle.raw_nbytes > budget
+        ):
+            return False
+        self._unpack_inflight_bytes += handle.raw_nbytes
+        handle._unpack_charged = True
+        return True
+
+    def _uncharge_unpack(self, handle: Any) -> None:
+        if handle._unpack_charged:
+            handle._unpack_charged = False
+            self._unpack_inflight_bytes -= handle.raw_nbytes
 
     def _compact_live(self) -> None:
         self._live = [h for h in self._live if h is not None]
@@ -320,34 +445,42 @@ class AsyncEngine(CompressionEngine):
         self._dead = 0
 
     def _schedule_prefetch(self, current: Any) -> None:
-        depth = self._effective_depth()
-        if depth <= 0:
+        udepth = self._effective_unpack_depth()
+        sdepth = self._effective_depth()
+        if udepth <= 0 and sdepth <= 0:
             return
         pos = current._live_pos
         if pos is None or pos >= len(self._live) or self._live[pos] is not current:
             return
         # Backward consumes in reverse pack order: after `current`, the
         # next expected handles are the ones packed just before it.  The
-        # first window gets decompress jobs; the window beyond it gets
+        # first window (udepth) gets speculative decompress jobs, subject
+        # to the decode-ahead budget; the window beyond it (sdepth) gets
         # its spilled bytes staged back into arena memory so those
         # decompress jobs will start from memory, not disk.
         stage_keys = []
         upcoming_layers = []
         seen = 0
         idx = pos - 1
-        while idx >= 0 and seen < 2 * depth:
+        while idx >= 0 and seen < udepth + sdepth:
             handle = self._live[idx]
             idx -= 1
             if handle is None or handle.released:
                 continue
             if handle.layer_name and handle.layer_name not in upcoming_layers:
                 upcoming_layers.append(handle.layer_name)
-            if seen < depth:
-                if handle._prefetch_future is None:
+            if seen < udepth and handle._prefetch_future is None:
+                if self._charge_unpack(handle):
                     handle._prefetch_future = self._ensure_pool().submit(
                         self._prefetch_job, handle
                     )
                     self.prefetches_scheduled += 1
+                else:
+                    # Over budget: skip the decompress but still stage the
+                    # bytes so the eventual inline path starts from memory.
+                    self.unpack_budget_deferrals += 1
+                    if handle.compressed is None and handle.arena_key is not None:
+                        stage_keys.append(handle.arena_key)
             elif handle._prefetch_future is None and handle.compressed is None and handle.arena_key is not None:
                 stage_keys.append(handle.arena_key)
             seen += 1
@@ -378,13 +511,27 @@ class AsyncEngine(CompressionEngine):
         handle._live_pos = len(self._live)
         self._live.append(handle)
         self.packs_submitted += 1
+        # Forward-side weight double buffering: while this layer's pack
+        # (and the next layer's forward compute) run, stage the *next*
+        # bind window's spilled parameter bytes on the pool so the coming
+        # rebind finds them in arena memory (ParamStore.stage_next_window
+        # is worker-thread safe and a no-op without bind windows spilled).
+        param_store = getattr(self._ctx, "param_store", None)
+        if param_store is not None and handle.layer_name:
+            stage = getattr(param_store, "stage_next_window", None)
+            if stage is not None:
+                self._ensure_pool().submit(stage, handle.layer_name)
+                self.forward_param_stages += 1
         # A pack means the forward pass is running: the next unpack gap
         # belongs to a fresh backward pass.
         self._last_obtain_end = None
 
     def obtain(self, handle: Any):
         t0 = time.perf_counter()
-        if self.adaptive_prefetch and self._last_obtain_end is not None:
+        if (
+            (self.adaptive_prefetch or self.adaptive_unpack)
+            and self._last_obtain_end is not None
+        ):
             # Gap between consecutive unpacks = one layer's backward
             # compute (the clock resets on pack, so forward time between
             # iterations never pollutes the estimate).
@@ -402,6 +549,7 @@ class AsyncEngine(CompressionEngine):
                 else:
                     with profiler.stage("engine-wait"):
                         res = fut.result()
+                self._uncharge_unpack(handle)
                 if res is not None:
                     ct, out = res
                     self.prefetch_hits += 1
@@ -410,7 +558,7 @@ class AsyncEngine(CompressionEngine):
                     return out
             t1 = time.perf_counter()
             out = self._ctx._materialize(handle)
-            if self.adaptive_prefetch:
+            if self.adaptive_prefetch or self.adaptive_unpack:
                 # Inline materializations feed the same latency model, so
                 # the depth estimate exists before the first prefetch hit.
                 self._update_ema("_job_ema", time.perf_counter() - t1)
@@ -436,6 +584,7 @@ class AsyncEngine(CompressionEngine):
         # An in-flight prefetch for a discarded handle completes (or
         # fails) harmlessly on its worker; nobody consumes the future.
         handle._prefetch_future = None
+        self._uncharge_unpack(handle)
 
     def flush(self) -> None:
         while self._pending:
@@ -462,8 +611,22 @@ class AsyncEngine(CompressionEngine):
                 # Mid-flight shutdown: the arena may already be closed or
                 # the job itself failed; drop the handle, uncharged.
                 handle.released = True
+        # Cancel in-flight speculative decompress jobs: queued jobs are
+        # dropped before running; a job already on a worker completes
+        # harmlessly (nobody consumes its future) and the pool shutdown
+        # below waits it out.
+        for handle in self._live:
+            if handle is None:
+                continue
+            fut = handle._prefetch_future
+            if fut is not None:
+                handle._prefetch_future = None
+                if fut.cancel():
+                    self.unpacks_cancelled += 1
+                self._uncharge_unpack(handle)
         self._live.clear()
         self._dead = 0
+        self._unpack_inflight_bytes = 0
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -472,6 +635,7 @@ class AsyncEngine(CompressionEngine):
         return (
             f"AsyncEngine(workers={self.workers}, "
             f"prefetch_depth={self.prefetch_depth}, "
+            f"unpack_depth={self.unpack_depth!r}, "
             f"pending={len(self._pending)}, live={len(self._live)})"
         )
 

@@ -87,6 +87,9 @@ class ResolvedPolicy:
     initial_rel_eb: Optional[float] = None
     eb_min: Optional[float] = None
     eb_max: Optional[float] = None
+    #: in-memory sub-budget (bytes) carved out of the session arena for
+    #: this rule's packed activations; None = share the global budget
+    arena_budget: Optional[int] = None
 
     def __post_init__(self):
         if not self.label:
@@ -105,6 +108,19 @@ class ResolvedPolicy:
             v = getattr(self, attr)
             if v is not None and v <= 0:
                 raise ValueError(f"rule {self.label!r}: {attr} must be positive, got {v}")
+        if self.arena_budget is not None:
+            if not isinstance(self.arena_budget, int) or isinstance(
+                self.arena_budget, bool
+            ) or self.arena_budget <= 0:
+                raise ValueError(
+                    f"rule {self.label!r}: arena_budget must be a positive int "
+                    f"or None, got {self.arena_budget!r}"
+                )
+            if self.storage == "inmem":
+                raise ValueError(
+                    f"rule {self.label!r}: arena_budget requires arena storage, "
+                    f"but the rule pins storage='inmem'"
+                )
 
 
 class PolicyTable:

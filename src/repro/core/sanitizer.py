@@ -302,8 +302,8 @@ def _instrument_arena(arena) -> None:
     orig_get = arena.get
     orig_discard = arena.discard
 
-    def put(data):
-        key = orig_put(data)
+    def put(data, group=None):
+        key = orig_put(data, group=group)
         with trap_lock:
             live[key] = _format_site()
         return key

@@ -283,3 +283,87 @@ class TestSanitizerSpec:
         cfg = SessionConfig(sanitizer=SanitizerSpec(enabled="yes"))
         with pytest.raises(ConfigError, match="sanitizer"):
             cfg.validate()
+
+
+class TestPipelineOverlapKnobs:
+    """EngineSpec unpack/bind-window/shared-cache knobs and per-rule
+    arena budgets: round-trip, validation, capture."""
+
+    def test_round_trip(self):
+        cfg = SessionConfig(
+            storage=StorageSpec(activations="arena"),
+            engine=EngineSpec(
+                kind="async", unpack_depth=3, shared_codebook_cache=True,
+                bind_window_bytes=1 << 20,
+            ),
+            rules=[PolicyRule(match="l0", label="front", arena_budget=4096)],
+        )
+        rebuilt = SessionConfig.from_json(cfg.to_json())
+        assert rebuilt == cfg
+        assert rebuilt.engine.unpack_depth == 3
+        assert rebuilt.engine.shared_codebook_cache is True
+        assert rebuilt.engine.bind_window_bytes == 1 << 20
+        assert rebuilt.rules[0].arena_budget == 4096
+
+    def test_auto_unpack_depth_round_trips(self):
+        cfg = SessionConfig(engine=EngineSpec(kind="async", unpack_depth="auto"))
+        assert SessionConfig.from_json(cfg.to_json()).engine.unpack_depth == "auto"
+
+    def test_defaults_stay_sparse(self):
+        d = SessionConfig(engine=EngineSpec(kind="async")).to_dict()
+        assert d["engine"] == {"kind": "async"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="unpack_depth"):
+            SessionConfig.from_dict({"engine": {"unpack_depth": -1}})
+        with pytest.raises(ConfigError, match="unpack_depth"):
+            SessionConfig.from_dict({"engine": {"unpack_depth": "turbo"}})
+        with pytest.raises(ConfigError, match="bind_window_bytes"):
+            SessionConfig.from_dict({"engine": {"bind_window_bytes": -5}})
+        with pytest.raises(ConfigError, match="shared_codebook_cache"):
+            SessionConfig.from_dict({"engine": {"shared_codebook_cache": "yes"}})
+
+    def test_arena_budget_validation(self):
+        with pytest.raises(ConfigError, match="arena_budget"):
+            PolicyRule(match="l0", arena_budget=0).validate()
+        with pytest.raises(ConfigError, match="arena_budget"):
+            PolicyRule(match="l0", arena_budget=4096, storage="inmem").validate()
+        # session-level: a sub-budget needs an arena to carve from
+        with pytest.raises(ConfigError, match="arena_budget"):
+            SessionConfig(
+                rules=[PolicyRule(match="l0", arena_budget=4096)]
+            ).validate()
+
+    def test_engine_capture_preserves_unpack_spec(self):
+        from repro.api import capture_session_config
+        from repro.core.engine import AsyncEngine
+
+        eng = AsyncEngine(workers=3, prefetch_depth=2, unpack_depth="auto")
+        cfg = capture_session_config(engine=eng)
+        eng.close()
+        assert cfg is not None
+        assert cfg.engine.unpack_depth == "auto"
+        rebuilt = SessionConfig.from_json(cfg.to_json())
+        assert rebuilt.engine.unpack_depth == "auto"
+
+    def test_capture_bind_window_and_shared_cache(self):
+        from repro.api import capture_session_config
+        from repro.compression.registry import ensure_shared_codebook_cache
+        from repro.core.engine import AsyncEngine
+        from repro.core.param_store import ParamStore
+
+        store = ParamStore(bind_window_bytes=1 << 20)
+        codec = get_codec(
+            "szlike", error_bound=1e-3, entropy="huffman", codebook_cache=True
+        )
+        ensure_shared_codebook_cache(codec)
+        eng = AsyncEngine(workers=2)
+        cfg = capture_session_config(
+            compressor=codec, param_storage=store, engine=eng
+        )
+        eng.close()
+        codec.codebook_cache.close()
+        store.close()
+        assert cfg is not None
+        assert cfg.engine.bind_window_bytes == 1 << 20
+        assert cfg.engine.shared_codebook_cache is True

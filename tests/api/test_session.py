@@ -351,3 +351,76 @@ class TestPolicyBehaviour:
             losses = run(s, iters=3)
             assert np.isfinite(losses).all()
             assert s.optimizer.betas == (0.9, 0.99)
+
+
+class TestPipelineOverlapWiring:
+    """build_session threads the PR's overlap knobs into the live stack."""
+
+    def _cfg(self, **engine_kwargs):
+        return SessionConfig(
+            storage=StorageSpec(
+                activations="arena", budget_bytes=1 << 16,
+                params="arena", param_budget_bytes=1 << 16,
+            ),
+            engine=EngineSpec(kind="async", workers=2, **engine_kwargs),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+
+    def test_rule_arena_budget_reaches_the_arena(self):
+        cfg = self._cfg()
+        cfg.rules = [PolicyRule(
+            match="l0", label="front", codec=CodecSpec("lossless"),
+            arena_budget=2048,
+        )]
+        with build_session(make_net(), cfg) as s:
+            run(s, iters=3)
+            stats = s.compressed.ctx.storage.group_stats()
+            assert stats["front"]["budget_bytes"] == 2048
+            assert stats["front"]["spill_count"] > 0  # cap actually bites
+
+    def test_bind_window_bytes_reaches_param_store(self):
+        cfg = self._cfg(bind_window_bytes=32 << 10)
+        with build_session(make_net(), cfg) as s:
+            assert s.param_store.bind_window_bytes == 32 << 10
+            run(s, iters=3)
+            assert s.param_store.window_switches > 0
+
+    def test_shared_codebook_cache_upgrades_codecs(self):
+        from repro.compression.szlike import SharedCodebookCache
+
+        cfg = self._cfg(shared_codebook_cache=True)
+        cfg.codec = CodecSpec("szlike", {"entropy": "huffman", "codebook_cache": True})
+        cfg.rules = [PolicyRule(
+            match="l0", label="front",
+            codec=CodecSpec("szlike", {"entropy": "huffman", "codebook_cache": True,
+                                       "error_bound": 1e-3}),
+        )]
+        with build_session(make_net(), cfg) as s:
+            assert isinstance(
+                s.compressed.ctx.compressor.codebook_cache, SharedCodebookCache
+            )
+            rule_codec = s.policy_table.rules[0].codec
+            assert isinstance(rule_codec.codebook_cache, SharedCodebookCache)
+            run(s, iters=2)
+
+    def test_config_unpack_depth_bit_identical_to_sync(self):
+        sync_cfg = self._cfg()
+        sync_cfg.engine = EngineSpec(kind="sync")
+        with build_session(make_net(), sync_cfg) as s:
+            losses_sync = run(s)
+        for depth in (0, 2, "auto"):
+            cfg = self._cfg(prefetch_depth=2, unpack_depth=depth,
+                            bind_window_bytes=32 << 10)
+            with build_session(make_net(), cfg) as s:
+                losses = run(s)
+                assert s.engine.unpack_depth == depth
+            np.testing.assert_array_equal(losses_sync, losses)
+
+    def test_knobs_round_trip_through_json(self, tmp_path):
+        cfg = self._cfg(unpack_depth=2, bind_window_bytes=1 << 20,
+                        shared_codebook_cache=True)
+        cfg.rules = [PolicyRule(match="l0", label="front", arena_budget=4096)]
+        path = tmp_path / "overlap.json"
+        cfg.to_json(str(path))
+        rebuilt = SessionConfig.from_json(str(path))
+        assert rebuilt == cfg

@@ -1,0 +1,257 @@
+"""Cross-process codebook cache: the serialized-segment contract.
+
+``SharedCodebookCache`` lets ``ChunkedCodec(executor="process")``
+workers adopt canonical Huffman books published by other processes
+instead of rebuilding them per worker per step.  Pinned here:
+
+* a fresh process-pool worker observes a cache **hit** for a key the
+  parent already built (``builds == 0`` worker-side, one adoption);
+* staleness refreshes propagate: a worker's rebuild republished to the
+  segment is adopted (not rebuilt) by the next worker;
+* ``invalidate()`` clears the segment, so stale books cannot be adopted;
+* segment I/O failures degrade to plain per-process caching — counted,
+  never raised;
+* the auto-upgrade wiring on ``ChunkedCodec(executor="process")`` and
+  the ``ensure_shared_codebook_cache`` helper;
+* a sanitizer-instrumented run stays clean.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.compression import ChunkedCodec, CodebookCache, SZCompressor, get_codec
+from repro.compression.registry import ensure_shared_codebook_cache
+from repro.compression.szlike import SharedCodebookCache
+
+
+def hist_for(seed, alphabet=256, scale=10_000):
+    rng = np.random.default_rng(seed)
+    return (rng.dirichlet(np.full(alphabet, 0.5)) * scale).astype(np.int64) + 1
+
+
+# -- worker probes (module-level: the pool pickles them) --------------------
+
+def _probe_lookup(cache_bytes, key, hist):
+    cache = pickle.loads(cache_bytes)
+    book, reused = cache.lookup(key, hist)
+    return reused, cache.stats()
+
+
+def _probe_compress(inner_bytes, arr, key):
+    inner = pickle.loads(inner_bytes)
+    inner.compress(arr, cache_key=key)
+    return inner.codebook_cache.stats()
+
+
+def shared_pair():
+    cache = SharedCodebookCache()
+    return cache, pickle.dumps(cache)
+
+
+class TestWorkerAdoption:
+    def test_worker_hits_parent_published_book(self):
+        cache, blob = shared_pair()
+        try:
+            hist = hist_for(1)
+            _, reused = cache.lookup("k", hist)
+            assert reused is False and cache.stats()["publishes"] == 1
+            blob = pickle.dumps(cache)
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                reused, stats = pool.submit(_probe_lookup, blob, "k", hist).result()
+            assert reused is True
+            assert stats["builds"] == 0  # no per-worker rebuild
+            assert stats["shared_adoptions"] == 1
+            assert stats["hits"] == 1
+        finally:
+            cache.close()
+
+    def test_adopted_book_is_bit_identical(self):
+        """Adoption reconstructs the canonical book from its lengths —
+        same codes, so worker and parent streams are interchangeable."""
+        cache, _ = shared_pair()
+        try:
+            hist = hist_for(2)
+            parent_book, _ = cache.lookup("k", hist)
+            clone = pickle.loads(pickle.dumps(cache))
+            worker_book, reused = clone.lookup("k", hist)
+            assert reused is True
+            np.testing.assert_array_equal(parent_book.lengths, worker_book.lengths)
+            np.testing.assert_array_equal(parent_book.codes, worker_book.codes)
+        finally:
+            cache.close()
+
+    def test_refresh_propagates_through_segment(self):
+        """A worker whose histogram flunks the delta check rebuilds and
+        republishes; the next fresh worker adopts the refreshed book."""
+        cache, _ = shared_pair()
+        try:
+            cache.lookup("k", hist_for(3))
+            shifted = hist_for(99) * 1000  # far off the published book
+            clone1 = pickle.loads(pickle.dumps(cache))
+            _, reused = clone1.lookup("k", shifted)
+            assert reused is False  # stale against the new distribution
+            assert clone1.stats()["publishes"] == 1
+            clone2 = pickle.loads(pickle.dumps(cache))
+            book2, reused2 = clone2.lookup("k", shifted)
+            assert reused2 is True  # adopted the *refreshed* book
+            assert clone2.stats()["builds"] == 0
+            np.testing.assert_array_equal(
+                book2.lengths, clone1.lookup("k", shifted)[0].lengths
+            )
+        finally:
+            cache.close()
+
+    def test_invalidate_clears_segment(self):
+        cache, _ = shared_pair()
+        try:
+            hist = hist_for(4)
+            cache.lookup("k", hist)
+            cache.invalidate("k")
+            clone = pickle.loads(pickle.dumps(cache))
+            _, reused = clone.lookup("k", hist)
+            assert reused is False
+            assert clone.stats()["shared_adoptions"] == 0
+        finally:
+            cache.close()
+
+    def test_unwritable_segment_degrades_to_local(self):
+        cache = SharedCodebookCache(segment_path="/nonexistent-dir/books.seg")
+        hist = hist_for(5)
+        _, reused = cache.lookup("k", hist)
+        assert reused is False
+        assert cache.stats()["segment_errors"] >= 1
+        # Local caching still works.
+        _, reused = cache.lookup("k", hist)
+        assert reused is True
+        cache.close()  # no-op: never owned a real file
+
+
+class TestChunkedCodecWiring:
+    def test_process_executor_auto_upgrades_inner_cache(self):
+        ck = get_codec(
+            "chunked", inner="szlike", workers=2, executor="process",
+            error_bound=1e-3, entropy="huffman", codebook_cache=True,
+        )
+        try:
+            assert isinstance(ck.inner.codebook_cache, SharedCodebookCache)
+        finally:
+            ck.close()
+
+    def test_thread_executor_keeps_plain_cache(self):
+        ck = get_codec(
+            "chunked", inner="szlike", workers=2, executor="thread",
+            error_bound=1e-3, entropy="huffman", codebook_cache=True,
+        )
+        cache = ck.inner.codebook_cache
+        assert isinstance(cache, CodebookCache)
+        assert not isinstance(cache, SharedCodebookCache)
+        ck.close()
+
+    def test_shared_cache_false_opts_out(self):
+        ck = ChunkedCodec(
+            "szlike", workers=2, executor="process", shared_cache=False,
+            error_bound=1e-3, entropy="huffman", codebook_cache=True,
+        )
+        try:
+            assert not isinstance(ck.inner.codebook_cache, SharedCodebookCache)
+        finally:
+            ck.close()
+
+    def test_ensure_helper_upgrades_and_reports(self):
+        sz = SZCompressor(1e-3, entropy="huffman", codebook_cache=CodebookCache())
+        assert ensure_shared_codebook_cache(sz) is True
+        assert isinstance(sz.codebook_cache, SharedCodebookCache)
+        assert ensure_shared_codebook_cache(sz) is True  # idempotent
+        sz.codebook_cache.close()
+        assert ensure_shared_codebook_cache(SZCompressor(1e-3)) is False  # no cache
+        ck = ChunkedCodec(
+            "szlike", workers=2, error_bound=1e-3, entropy="huffman",
+            codebook_cache=True,
+        )
+        assert ensure_shared_codebook_cache(ck) is True  # recurses to inner
+        assert isinstance(ck.inner.codebook_cache, SharedCodebookCache)
+        ck.close()
+
+    def test_worker_side_compress_steady_state_no_builds(self):
+        """The tentpole number: a fresh worker compressing a chunk whose
+        key is already published does zero codebook builds."""
+        sz = SZCompressor(1e-3, entropy="huffman", codebook_cache=SharedCodebookCache())
+        try:
+            rng = np.random.default_rng(6)
+            arr = np.maximum(
+                rng.standard_normal((2, 4, 16, 16)), 0
+            ).astype(np.float32)
+            blob = pickle.dumps(sz)
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                first = pool.submit(_probe_compress, blob, arr, ("l0", "chunk", 0)).result()
+                assert first["builds"] == 1  # cold: built and published
+                steady = pool.submit(_probe_compress, blob, arr, ("l0", "chunk", 0)).result()
+            assert steady["builds"] == 0
+            assert steady["hits"] == 1
+            assert steady["shared_adoptions"] == 1
+        finally:
+            sz.codebook_cache.close()
+
+    def test_process_chunked_publishes_per_chunk_keys(self):
+        ck = get_codec(
+            "chunked", inner="szlike", workers=2, min_chunk_nbytes=1 << 12,
+            executor="process", share_codebook=False,
+            error_bound=1e-3, entropy="huffman", codebook_cache=True,
+        )
+        try:
+            cache = ck.inner.codebook_cache
+            rng = np.random.default_rng(7)
+            arr = np.maximum(
+                rng.standard_normal((4, 4, 16, 16)), 0
+            ).astype(np.float32)
+            ct = ck.compress(arr, cache_key="layer0")
+            assert len(ct.chunks) > 1
+            published = cache._read_segment()
+            assert {("layer0", "chunk", i) for i in range(len(ct.chunks))} <= set(published)
+            np.testing.assert_allclose(ck.decompress(ct), arr, atol=1e-3 * (1 + 1e-6))
+        finally:
+            ck.close()
+            cache.close()
+
+
+class TestSanitizerClean:
+    def test_instrumented_shared_cache_run_is_clean(self, tmp_path):
+        """REPRO_SANITIZE=1: lock-order tracking on the shared cache
+        finds no cycles and no errors across publish/adopt traffic."""
+        script = tmp_path / "run.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro.core import sanitizer\n"
+            "from repro.compression.szlike import SharedCodebookCache\n"
+            "cache = SharedCodebookCache()\n"
+            "rng = np.random.default_rng(0)\n"
+            "for i in range(8):\n"
+            "    hist = (rng.dirichlet(np.full(256, 0.5)) * 10000).astype(np.int64) + 1\n"
+            "    cache.lookup(f'k{i % 3}', hist)\n"
+            "import pickle\n"
+            "clone = pickle.loads(pickle.dumps(cache))\n"
+            "clone.lookup('k0', (rng.dirichlet(np.full(256, 0.5)) * 10000).astype(np.int64) + 1)\n"
+            "cache.close()\n"
+            "rep = sanitizer.report()\n"
+            "assert rep['enabled'], rep\n"
+            "assert rep['instrumented_objects'] >= 2, rep\n"
+            "assert rep['lock_acquisitions'] > 0, rep\n"
+        )
+        env = dict(os.environ, REPRO_SANITIZE="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -400,3 +400,88 @@ class TestArenaTraining:
             assert len(arena) == 0  # every pack released by backward
             assert sess.tracker._live_raw == 0
             assert all(r > 1 for r in sess.ratio_history())
+
+
+class TestGroupBudgets:
+    """Per-group sub-budgets: entries tagged with put(group=...) spill
+    independently of (and before) the arena-wide FIFO budget."""
+
+    def test_group_overflow_spills_only_that_group(self):
+        with ByteArena(budget_bytes=None) as arena:
+            arena.set_group_budget("hot", 64)
+            k_cold = arena.put(b"c" * 100, group="cold")
+            k1 = arena.put(b"a" * 40, group="hot")
+            k2 = arena.put(b"b" * 40, group="hot")  # pushes hot to 80 > 64
+            stats = arena.group_stats()
+            assert stats["hot"]["spill_count"] == 1
+            assert stats["hot"]["in_memory_nbytes"] == 40
+            assert stats["hot"]["spilled_nbytes"] == 40
+            # the untagged-budget group is untouched
+            assert stats["cold"]["spill_count"] == 0
+            assert stats["cold"]["in_memory_nbytes"] == 100
+            # oldest-first within the group, and reads stay exact
+            assert arena.get(k1) == b"a" * 40
+            assert arena.get(k2) == b"b" * 40
+            assert arena.get(k_cold) == b"c" * 100
+
+    def test_budget_applies_retroactively(self):
+        with ByteArena(budget_bytes=None) as arena:
+            for _ in range(4):
+                arena.put(b"x" * 32, group="g")
+            assert arena.group_stats()["g"]["spill_count"] == 0
+            arena.set_group_budget("g", 64)  # immediate enforcement
+            stats = arena.group_stats()
+            assert stats["g"]["in_memory_nbytes"] <= 64
+            assert stats["g"]["spill_count"] == 2
+
+    def test_discard_releases_group_accounting(self):
+        with ByteArena(budget_bytes=None) as arena:
+            arena.set_group_budget("g", 64)
+            keys = [arena.put(b"y" * 40, group="g") for _ in range(3)]
+            for k in keys:
+                arena.discard(k)
+            stats = arena.group_stats()
+            assert stats["g"]["in_memory_nbytes"] == 0
+            assert stats["g"]["spilled_nbytes"] == 0
+
+    def test_global_budget_still_enforced_on_top(self):
+        with ByteArena(budget_bytes=64) as arena:
+            arena.set_group_budget("g", 1 << 20)  # generous group cap
+            arena.put(b"z" * 60, group="g")
+            arena.put(b"w" * 60)  # untagged; global FIFO spills the oldest
+            assert arena.spill_count >= 1
+            assert arena.in_memory_nbytes <= 64
+
+    def test_validation_and_closed_arena(self):
+        arena = ByteArena(budget_bytes=None)
+        with pytest.raises(ValueError, match="budget_bytes"):
+            arena.set_group_budget("g", -1)
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.set_group_budget("g", 10)
+
+    def test_policy_label_tags_flow_from_context(self):
+        """Arena-backed packs are tagged with their policy group, so a
+        rule's arena_budget bounds exactly its layers' bytes."""
+        from repro.core.policy_table import (
+            PolicyTable, ResolvedPolicy, compile_matcher,
+        )
+
+        table = PolicyTable([
+            (compile_matcher("c"), ResolvedPolicy(label="front")),
+        ])
+        rng = np.random.default_rng(0)
+        with ByteArena(budget_bytes=None) as arena:
+            arena.set_group_budget("front", 1)
+            ctx = CompressingContext(
+                SZCompressor(entropy="zlib"), initial_rel_eb=1e-3,
+                storage=arena, policy_table=table,
+            )
+            conv = Conv2D(3, 2, 3, rng=1, name="c")
+            x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+            h = ctx.pack(conv, "x", x)
+            stats = arena.group_stats()
+            assert stats["front"]["spill_count"] == 1  # over its 1-byte cap
+            y = ctx.unpack(conv, "x", h)
+            assert np.abs(x - y).max() <= max(ctx.error_bounds.values()) * (1 + 1e-6)
+            ctx.close()

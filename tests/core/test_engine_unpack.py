@@ -1,0 +1,197 @@
+"""Double-buffered unpack: the speculative-decompress window.
+
+The async engine's decode-ahead (``unpack_depth``) speculatively
+decompresses the next backward layers' saved activations on the worker
+pool.  Contract pinned here:
+
+* bit-identity to ``SyncEngine`` for every ``unpack_depth`` (including
+  ``"auto"``), with mixed per-layer policy codecs and a fully-spilled
+  arena — the hardest composition the engine supports;
+* the decode-ahead budget defers (never drops) over-budget jobs, still
+  bit-identically;
+* ``close()`` mid-backward with speculative decompress in flight is
+  clean: queued jobs are cancelled and counted, budget accounting zeroes.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.core import (
+    AdaptiveConfig,
+    AsyncEngine,
+    ByteArena,
+    CompressedTraining,
+    CompressingContext,
+    SyncEngine,
+)
+from repro.core.policy_table import PolicyTable, ResolvedPolicy, compile_matcher
+from repro.nn import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    SGD,
+    Sequential,
+    SyntheticImageDataset,
+    Trainer,
+    batches,
+)
+
+
+def mixed_net():
+    return Sequential([
+        Conv2D(3, 6, 3, padding=1, rng=1, name="c1"), ReLU(), MaxPool2D(2),
+        Conv2D(6, 8, 3, padding=1, rng=2, name="c2"), ReLU(), MaxPool2D(2),
+        Conv2D(8, 8, 3, padding=1, rng=4, name="c3"), ReLU(),
+        Flatten(), Linear(8 * 4 * 4, 4, rng=3),
+    ])
+
+
+def mixed_table():
+    """Three codecs across the net: lossless, tight szlike, jpeg."""
+    return PolicyTable([
+        (compile_matcher("c1"), ResolvedPolicy(label="front", codec=get_codec("lossless"), adaptive=False)),
+        (compile_matcher("c2"), ResolvedPolicy(label="mid", error_bound=1e-4, adaptive=False)),
+        (compile_matcher("c3"), ResolvedPolicy(label="back", codec=get_codec("jpeg", quality=80), adaptive=False)),
+    ])
+
+
+def train_mixed(engine, iters=6):
+    net = mixed_net()
+    opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+    tr = Trainer(net, opt)
+    with ByteArena(budget_bytes=0) as arena:  # everything spills
+        sess = CompressedTraining(
+            net, opt,
+            compressor=get_codec("szlike", entropy="zlib"),
+            config=AdaptiveConfig(W=5, warmup_iterations=2),
+            storage=arena, engine=engine, policy_table=mixed_table(),
+        ).attach(tr)
+        ds = SyntheticImageDataset(num_classes=4, image_size=16, channels=3, seed=3)
+        tr.train(batches(ds, 8, iters, seed=0))
+        tr.close()
+        assert len(arena) == 0
+    return tr, sess
+
+
+class TestUnpackBitIdentity:
+    """Mixed policy codecs x spilled arena x every decode-ahead depth."""
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 4, "auto"])
+    def test_matches_sync_at_depth(self, depth):
+        tr_s, sess_s = train_mixed(SyncEngine())
+        tr_a, sess_a = train_mixed(
+            AsyncEngine(workers=2, prefetch_depth=2, unpack_depth=depth)
+        )
+        np.testing.assert_array_equal(tr_s.history.losses, tr_a.history.losses)
+        assert sess_s.tracker.iteration_ratios == sess_a.tracker.iteration_ratios
+        for name in ("c1", "c2", "c3"):
+            a = sess_s.tracker.per_layer[name]
+            b = sess_a.tracker.per_layer[name]
+            assert (a.raw_bytes, a.stored_bytes, a.packs) == (
+                b.raw_bytes, b.stored_bytes, b.packs
+            )
+        if depth == 0:
+            assert sess_a.engine.prefetch_hits == 0
+        else:
+            assert sess_a.engine.prefetch_hits > 0
+            assert sess_a.engine.last_effective_unpack_depth >= 1
+
+    def test_default_follows_prefetch_depth(self):
+        eng = AsyncEngine(workers=1, prefetch_depth=3)
+        assert eng.unpack_depth is None
+        train_mixed(eng)
+        assert eng.last_effective_unpack_depth == 3
+
+    def test_budget_deferral_is_counted_and_bit_identical(self):
+        tr_s, _ = train_mixed(SyncEngine())
+        eng = AsyncEngine(
+            workers=2, prefetch_depth=2, unpack_depth=3, unpack_budget_bytes=1
+        )
+        tr_a, _ = train_mixed(eng)
+        np.testing.assert_array_equal(tr_s.history.losses, tr_a.history.losses)
+        # One job per window is always admitted (progress guarantee);
+        # the rest of the window hits the 1-byte budget and defers.
+        assert eng.unpack_budget_deferrals > 0
+        assert eng._unpack_inflight_bytes == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="unpack_depth"):
+            AsyncEngine(unpack_depth=-1)
+        with pytest.raises(ValueError, match="unpack_depth"):
+            AsyncEngine(unpack_depth="turbo")
+        with pytest.raises(ValueError, match="unpack_budget_bytes"):
+            AsyncEngine(unpack_budget_bytes=0)
+
+
+class TestShutdownWithSpeculativeUnpack:
+    def test_close_cancels_queued_decompress_jobs(self):
+        """Mid-backward close with speculation in flight: queued jobs are
+        cancelled (and counted), nothing deadlocks, budget zeroes."""
+        layers = [Conv2D(3, 2, 3, rng=i + 1, name=f"u{i}") for i in range(6)]
+        rng = np.random.default_rng(5)
+        eng = AsyncEngine(workers=1, prefetch_depth=0, unpack_depth=4)
+        ctx = CompressingContext(
+            get_codec("szlike", entropy="zlib"), engine=eng, initial_rel_eb=1e-3
+        )
+        xs = [rng.standard_normal((2, 3, 16, 16)).astype(np.float32) for _ in layers]
+        handles = [ctx.pack(l, "x", x) for l, x in zip(layers, xs)]
+        eng.flush()
+        # Pin the single worker so every speculative job stays queued.
+        release = threading.Event()
+        eng._ensure_pool().submit(release.wait)
+        ctx.unpack(layers[-1], "x", handles[-1])  # schedules the window
+        queued = sum(1 for h in handles[:-1] if h._prefetch_future is not None)
+        assert queued > 0
+        release.set()  # close() joins the pool; let the pinned job finish
+        ctx.close()
+        assert eng.unpacks_cancelled > 0
+        assert eng._unpack_inflight_bytes == 0
+        # Idempotent.
+        ctx.close()
+
+    def test_training_close_midstream_is_clean(self):
+        """Stop a training run between steps with the decode-ahead window
+        armed; close() must not hang or corrupt the tracker."""
+        net = mixed_net()
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        tr = Trainer(net, opt)
+        with ByteArena(budget_bytes=0) as arena:
+            sess = CompressedTraining(
+                net, opt,
+                compressor=get_codec("szlike", entropy="zlib"),
+                config=AdaptiveConfig(W=5, warmup_iterations=2),
+                storage=arena,
+                engine=AsyncEngine(workers=2, prefetch_depth=2, unpack_depth=2),
+                policy_table=mixed_table(),
+            ).attach(tr)
+            ds = SyntheticImageDataset(num_classes=4, image_size=16, channels=3, seed=3)
+            tr.train(batches(ds, 8, 2, seed=0))
+            tr.close()
+            assert sess.tracker._live_raw == 0
+            assert sess.tracker._live_stored == 0
+
+
+class TestAdaptiveUnpackDepth:
+    def test_auto_depth_adapts_from_latencies(self):
+        eng = AsyncEngine(workers=2, unpack_depth="auto", max_auto_depth=6)
+        assert eng.adaptive_unpack
+        # Jobs 3x slower than the backward gap -> window of ~3.
+        with eng._ema_lock:
+            eng._gap_ema, eng._job_ema = 0.010, 0.030
+        assert eng._effective_unpack_depth() == 3
+        assert eng.last_effective_unpack_depth == 3
+        with eng._ema_lock:
+            eng._job_ema = 1.0
+        assert eng._effective_unpack_depth() == 6  # clamped
+
+    def test_fixed_depth_does_not_adapt(self):
+        eng = AsyncEngine(workers=1, unpack_depth=2)
+        with eng._ema_lock:
+            eng._gap_ema, eng._job_ema = 0.001, 1.0
+        assert eng._effective_unpack_depth() == 2

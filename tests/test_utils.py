@@ -180,3 +180,73 @@ class TestStageProfiler:
             assert stage_name in snap, f"missing stage {stage_name}"
             assert snap[stage_name]["calls"] > 0
         assert profiler_mod.get_active() is None  # close() deactivated it
+
+
+class TestOverlapSummary:
+    """Hidden-vs-exposed stage decomposition (the overlap-efficiency
+    report the engine's speculative stages feed)."""
+
+    def test_hidden_time_tracked_separately(self):
+        p = StageProfiler()
+        p.record("unpack-ahead", 0.3, hidden=True)
+        p.record("unpack-ahead", 0.1)  # exposed: ran on the hot path
+        snap = p.snapshot()
+        assert snap["unpack-ahead"]["calls"] == 2
+        assert snap["unpack-ahead"]["seconds"] == pytest.approx(0.4)
+        assert snap["unpack-ahead"]["hidden_seconds"] == pytest.approx(0.3)
+        summary = p.overlap_summary()
+        assert summary["unpack-ahead"]["exposed_seconds"] == pytest.approx(0.1)
+        assert summary["unpack-ahead"]["hidden_fraction"] == pytest.approx(0.75)
+
+    def test_stage_context_hidden_flag(self):
+        p = StageProfiler()
+        with p:
+            with profiler_mod.stage("bind-window", hidden=True):
+                pass
+            with profiler_mod.stage("encode"):
+                pass
+        snap = p.snapshot()
+        assert snap["bind-window"]["hidden_seconds"] > 0.0
+        assert "hidden_seconds" not in snap["encode"]
+
+    def test_fully_exposed_stages_stay_out_of_summary(self):
+        p = StageProfiler()
+        p.record("encode", 0.2)
+        assert "encode" not in p.overlap_summary()
+        p.record("engine-wait", 0.1)  # always reported: it IS exposure
+        assert p.overlap_summary()["engine-wait"]["hidden_fraction"] == 0.0
+
+    def test_merge_folds_hidden_time(self):
+        a, b = StageProfiler(), StageProfiler()
+        a.record("unpack-ahead", 0.2, hidden=True)
+        b.record("unpack-ahead", 0.3, hidden=True)
+        a.merge(b.snapshot())
+        assert a.snapshot()["unpack-ahead"]["hidden_seconds"] == pytest.approx(0.5)
+
+    def test_reset_clears_hidden(self):
+        p = StageProfiler()
+        p.record("s", 0.1, hidden=True)
+        p.reset()
+        assert p.snapshot() == {}
+        assert p.overlap_summary() == {}
+
+    def test_engine_run_populates_overlap_summary(self):
+        """An async training run records unpack-ahead as hidden time and
+        engine-wait as exposure, so the summary decomposes the overlap."""
+        from repro.core import AdaptiveConfig, AsyncEngine, CompressedTraining
+        from repro.models import build_scaled_model
+        from repro.nn import SGD, SyntheticImageDataset, Trainer, batches
+
+        net = build_scaled_model("alexnet", num_classes=4, image_size=16, rng=1)
+        opt = SGD(net.parameters(), lr=0.01)
+        trainer = Trainer(net, opt, profiler=True)
+        CompressedTraining(
+            net, opt, config=AdaptiveConfig(W=5, warmup_iterations=1),
+            engine=AsyncEngine(workers=2, prefetch_depth=2, unpack_depth=2),
+        ).attach(trainer)
+        ds = SyntheticImageDataset(num_classes=4, image_size=16, seed=5)
+        trainer.train(batches(ds, 4, 3, seed=1))
+        summary = trainer.profiler.overlap_summary()
+        trainer.close()
+        assert "unpack-ahead" in summary
+        assert summary["unpack-ahead"]["hidden_seconds"] > 0.0
