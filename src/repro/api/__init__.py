@@ -26,6 +26,7 @@ from repro.api.config import (
     AdaptiveSpec,
     CodecSpec,
     ConfigError,
+    DistributedSpec,
     EngineSpec,
     OptimizerSpec,
     PolicyRule,
@@ -33,6 +34,7 @@ from repro.api.config import (
     SessionConfig,
     StorageSpec,
     capture_session_config,
+    optimizer_spec_of,
 )
 from repro.api.session import Session, build_policy_table, build_session
 
@@ -40,6 +42,7 @@ __all__ = [
     "AdaptiveSpec",
     "CodecSpec",
     "ConfigError",
+    "DistributedSpec",
     "EngineSpec",
     "OptimizerSpec",
     "PolicyRule",
@@ -47,6 +50,7 @@ __all__ = [
     "SessionConfig",
     "StorageSpec",
     "capture_session_config",
+    "optimizer_spec_of",
     "Session",
     "build_policy_table",
     "build_session",

@@ -50,8 +50,10 @@ __all__ = [
     "ProfilerSpec",
     "SanitizerSpec",
     "OptimizerSpec",
+    "DistributedSpec",
     "SessionConfig",
     "capture_session_config",
+    "optimizer_spec_of",
 ]
 
 
@@ -162,6 +164,30 @@ class CodecSpec:
         return spec
 
 
+def _validate_grad_codec(spec: "CodecSpec", where: str) -> None:
+    """A gradient codec must keep the exchange's accuracy contract:
+    either a per-element error bound (lossy-bounded, szlike-style) or a
+    bit-exact round-trip (lossless).  Unbounded lossy codecs (jpeg) have
+    no story for how far the averaged gradient can drift."""
+    spec.validate(where)
+    from repro.compression.registry import get_codec
+
+    probe = get_codec(spec.name, **spec.options)
+    try:
+        if not (
+            getattr(probe, "error_bounded", False) or getattr(probe, "lossless", False)
+        ):
+            raise ConfigError(
+                f"{where}: {spec.name!r} is lossy without an error bound; "
+                f"gradient exchange needs an error-bounded ('szlike', "
+                f"'chunked') or lossless ('lossless', 'sparse-lossless') codec"
+            )
+    finally:
+        close = getattr(probe, "close", None)
+        if callable(close):
+            close()
+
+
 @dataclass
 class PolicyRule:
     """One per-layer policy: glob-matched layers get their own regime.
@@ -201,6 +227,11 @@ class PolicyRule:
         carved out of the session arena — matched layers spill to disk
         once their group exceeds it, independently of the global
         ``storage.budget_bytes``.  Requires arena-backed activations.
+    grad_codec:
+        Codec for the matched layers' **gradients** in a data-parallel
+        exchange (``distributed.world_size > 1``); ``None`` inherits
+        ``distributed.grad_codec``.  Must be error-bounded or lossless —
+        the same contract the session-wide gradient codec obeys.
     """
 
     match: str = "*"
@@ -214,6 +245,7 @@ class PolicyRule:
     eb_min: Optional[float] = None
     eb_max: Optional[float] = None
     arena_budget: Optional[int] = None
+    grad_codec: Optional[CodecSpec] = None
 
     def resolved_adaptive(self) -> bool:
         return self.adaptive if self.adaptive is not None else self.error_bound is None
@@ -272,10 +304,16 @@ class PolicyRule:
                     f"{where}: arena_budget requires arena storage, but the "
                     f"rule pins storage='inmem'"
                 )
+        if self.grad_codec is not None:
+            _validate_grad_codec(self.grad_codec, f"{where}.grad_codec")
 
     def to_dict(self) -> Dict[str, Any]:
         return _sparse_dict(
-            self, {"codec": self.codec.to_dict() if self.codec else None}
+            self,
+            {
+                "codec": self.codec.to_dict() if self.codec else None,
+                "grad_codec": self.grad_codec.to_dict() if self.grad_codec else None,
+            },
         )
 
     @classmethod
@@ -284,6 +322,8 @@ class PolicyRule:
         d = dict(d)
         if "codec" in d:
             d["codec"] = CodecSpec.from_dict(d["codec"], f"{where}.codec")
+        if "grad_codec" in d:
+            d["grad_codec"] = CodecSpec.from_dict(d["grad_codec"], f"{where}.grad_codec")
         rule = cls(**d)
         rule.validate(where)
         return rule
@@ -613,6 +653,104 @@ class OptimizerSpec:
         return spec
 
 
+@dataclass
+class DistributedSpec:
+    """Data-parallel training across process-based worker ranks.
+
+    ``world_size > 1`` makes :func:`~repro.api.session.build_session`
+    spawn that many rank processes, each with its own
+    ``ParamStore``/``ByteArena``/engine, and exchange gradients through
+    the codec registry every step — the paper's bounded-lossy thesis
+    applied to the dominant cost of data parallelism.
+
+    Parameters
+    ----------
+    world_size:
+        Number of worker ranks (``1`` = single-process, the spec is
+        inert).
+    grad_codec:
+        Codec for the gradient exchange; ``None`` resolves to
+        ``sparse-lossless`` (bit-exact).  Must be error-bounded
+        (``szlike``, ``chunked``) or lossless — unbounded lossy codecs
+        (``jpeg``) are rejected.  Per-layer overrides live on
+        ``PolicyRule.grad_codec``.
+    error_feedback:
+        Keep a per-layer residual of what compression dropped and add
+        it back into the next step's gradient before compressing, so
+        the *accumulated* applied gradient tracks the true one and
+        convergence matches the single-worker run within the bound.
+    reduce_order:
+        ``"tree"`` (fixed binary rank-tree) or ``"linear"`` (left fold
+        over ranks).  Both are deterministic — the choice only changes
+        the float-summation order, and therefore which bit-exact result
+        a committed config reproduces.
+    rank_arena_budget:
+        Per-rank override (bytes) for ``storage.budget_bytes`` so N
+        rank arenas don't multiply the single-process budget; ``None``
+        inherits the session storage budget unchanged.
+    """
+
+    world_size: int = 1
+    grad_codec: Optional[CodecSpec] = None
+    error_feedback: bool = True
+    reduce_order: str = "tree"  # "tree" | "linear"
+    rank_arena_budget: Optional[int] = None
+
+    def resolved_grad_codec(self) -> CodecSpec:
+        """The codec the exchange actually uses (default: bit-exact)."""
+        if self.grad_codec is not None:
+            return self.grad_codec
+        return CodecSpec("sparse-lossless")
+
+    def validate(self, where: str = "distributed") -> None:
+        if (
+            not isinstance(self.world_size, int)
+            or isinstance(self.world_size, bool)
+            or self.world_size < 1
+        ):
+            raise ConfigError(
+                f"{where}: world_size must be an int >= 1, got {self.world_size!r}"
+            )
+        if self.grad_codec is not None:
+            _validate_grad_codec(self.grad_codec, f"{where}.grad_codec")
+        if not isinstance(self.error_feedback, bool):
+            raise ConfigError(
+                f"{where}: error_feedback must be a bool, "
+                f"got {self.error_feedback!r}"
+            )
+        if self.reduce_order not in ("tree", "linear"):
+            raise ConfigError(
+                f"{where}: reduce_order must be 'tree' or 'linear', "
+                f"got {self.reduce_order!r}"
+            )
+        if self.rank_arena_budget is not None:
+            if (
+                not isinstance(self.rank_arena_budget, int)
+                or isinstance(self.rank_arena_budget, bool)
+                or self.rank_arena_budget <= 0
+            ):
+                raise ConfigError(
+                    f"{where}: rank_arena_budget must be a positive int or "
+                    f"omitted, got {self.rank_arena_budget!r}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(
+            self,
+            {"grad_codec": self.grad_codec.to_dict() if self.grad_codec else None},
+        )
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "distributed") -> "DistributedSpec":
+        _check_keys(d, cls, where)
+        d = dict(d)
+        if "grad_codec" in d:
+            d["grad_codec"] = CodecSpec.from_dict(d["grad_codec"], f"{where}.grad_codec")
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+
 # ---------------------------------------------------------------------------
 # The root
 # ---------------------------------------------------------------------------
@@ -635,6 +773,7 @@ class SessionConfig:
     profiler: ProfilerSpec = field(default_factory=ProfilerSpec)
     sanitizer: SanitizerSpec = field(default_factory=SanitizerSpec)
     optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    distributed: DistributedSpec = field(default_factory=DistributedSpec)
     #: False skips activation compression entirely (the session is then
     #: a plain trainer, optionally with out-of-core parameters /
     #: profiler — what a bare ``Trainer(param_store=..., profiler=...)``
@@ -682,6 +821,25 @@ class SessionConfig:
         self.adaptive.validate("adaptive")
         self.sanitizer.validate("sanitizer")
         self.optimizer.validate("optimizer")
+        self.distributed.validate("distributed")
+        if self.distributed.world_size > 1:
+            if (
+                self.distributed.rank_arena_budget is not None
+                and self.storage.activations != "arena"
+            ):
+                raise ConfigError(
+                    "distributed: rank_arena_budget needs "
+                    "storage.activations='arena' on the session (there is no "
+                    "per-rank arena to apply the budget to)"
+                )
+        else:
+            for i, rule in enumerate(self.rules):
+                if rule.grad_codec is not None:
+                    raise ConfigError(
+                        f"rules[{i}] (match={rule.match!r}): grad_codec only "
+                        f"applies to a data-parallel exchange; set "
+                        f"distributed.world_size > 1"
+                    )
         return self
 
     # -- serialization -----------------------------------------------------
@@ -697,6 +855,7 @@ class SessionConfig:
                 "profiler": self.profiler.to_dict() or None,
                 "sanitizer": self.sanitizer.to_dict() or None,
                 "optimizer": self.optimizer.to_dict() or None,
+                "distributed": self.distributed.to_dict() or None,
             },
         )
 
@@ -712,6 +871,7 @@ class SessionConfig:
             "profiler": ProfilerSpec.from_dict,
             "sanitizer": SanitizerSpec.from_dict,
             "optimizer": OptimizerSpec.from_dict,
+            "distributed": DistributedSpec.from_dict,
         }
         for key, parse in parsers.items():
             if key in d:
@@ -764,6 +924,38 @@ class SessionConfig:
 # ---------------------------------------------------------------------------
 
 
+def optimizer_spec_of(optimizer) -> Optional[OptimizerSpec]:
+    """:class:`OptimizerSpec` for a live :mod:`repro.nn.optim` optimizer.
+
+    Only non-default Adam extras go into ``options`` so the spec stays
+    sparse — ``from_dict(to_dict(spec))`` identity holds for captured
+    configs too.  Returns ``None`` for optimizer types the declarative
+    schema cannot describe.
+    """
+    from repro.nn.optim import SGD, Adam
+
+    if isinstance(optimizer, SGD):
+        return OptimizerSpec(
+            kind="sgd",
+            lr=optimizer.lr,
+            momentum=optimizer.momentum,
+            weight_decay=optimizer.weight_decay,
+        )
+    if isinstance(optimizer, Adam):
+        options: Dict[str, Any] = {}
+        if tuple(optimizer.betas) != (0.9, 0.999):
+            options["betas"] = list(optimizer.betas)
+        if optimizer.eps != 1e-8:
+            options["eps"] = optimizer.eps
+        return OptimizerSpec(
+            kind="adam",
+            lr=optimizer.lr,
+            weight_decay=optimizer.weight_decay,
+            options=options,
+        )
+    return None
+
+
 def capture_session_config(
     *,
     compressor=None,
@@ -787,7 +979,6 @@ def capture_session_config(
     from repro.core.arena import ByteArena
     from repro.core.engine import AsyncEngine, SyncEngine
     from repro.core.param_store import ParamStore
-    from repro.nn.optim import SGD, Adam
 
     cfg = SessionConfig()
 
@@ -885,22 +1076,10 @@ def capture_session_config(
         cfg.rules = [dataclasses.replace(r) for r in rules]
 
     if optimizer is not None:
-        if isinstance(optimizer, SGD):
-            cfg.optimizer = OptimizerSpec(
-                kind="sgd",
-                lr=optimizer.lr,
-                momentum=optimizer.momentum,
-                weight_decay=optimizer.weight_decay,
-            )
-        elif isinstance(optimizer, Adam):
-            cfg.optimizer = OptimizerSpec(
-                kind="adam",
-                lr=optimizer.lr,
-                weight_decay=optimizer.weight_decay,
-                options={"betas": list(optimizer.betas), "eps": optimizer.eps},
-            )
-        else:
+        spec = optimizer_spec_of(optimizer)
+        if spec is None:
             return None
+        cfg.optimizer = spec
 
     try:
         return cfg.validate()

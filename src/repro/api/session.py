@@ -83,6 +83,24 @@ class Session:
         #: (None when ``compress_activations=False``)
         self.compressed = compressed
 
+    # -- config round-trip -------------------------------------------------
+    @classmethod
+    def from_json(cls, path, network, *, optimizer=None) -> "Session":
+        """Build a session for *network* straight from a config file:
+        ``Session.from_json("run.json", net)`` is
+        ``build_session(net, SessionConfig.from_json("run.json"))``."""
+        return build_session(
+            network, SessionConfig.from_json(path), optimizer=optimizer
+        )
+
+    def capture(self) -> SessionConfig:
+        """Re-serialize this live session to the :class:`SessionConfig`
+        that builds it: ``build_session(net, session.capture())`` is the
+        same run (including distributed knobs).  The returned config is
+        an independent copy taken through the JSON wire format, so
+        ``capture().to_dict() == config.to_dict()`` is an identity."""
+        return SessionConfig.from_json(self.config.to_json())
+
     # -- delegation --------------------------------------------------------
     def train(self, batch_iter, max_iterations: Optional[int] = None):
         return self.trainer.train(batch_iter, max_iterations)
@@ -172,6 +190,7 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
     from repro.core.framework import CompressedTraining
     from repro.core.param_store import ParamStore
     from repro.nn.trainer import Trainer
+    from repro.utils.deprecation import building_session
 
     if not isinstance(config, SessionConfig):
         raise ConfigError(
@@ -180,6 +199,13 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
             f"SessionConfig.from_json(path)"
         )
     config.validate()
+
+    if config.distributed.world_size > 1:
+        # N rank processes behind the same Session surface; the import
+        # is deferred so single-process sessions never pay for it.
+        from repro.distributed.session import build_distributed_session
+
+        return build_distributed_session(network, config, optimizer=optimizer)
 
     if config.sanitizer.enabled:
         # Turn the sanitizer on BEFORE constructing anything: arenas,
@@ -221,9 +247,10 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
     profiler = True if config.profiler.enabled else None
 
     if not config.compress_activations:
-        trainer = Trainer(
-            network, optimizer, param_store=param_storage, profiler=profiler
-        )
+        with building_session():
+            trainer = Trainer(
+                network, optimizer, param_store=param_storage, profiler=profiler
+            )
         return Session(network, optimizer, trainer, config)
 
     table = build_policy_table(config.rules)
@@ -242,16 +269,17 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
                 if pol.codec is not None:
                     ensure_shared_codebook_cache(pol.codec)
 
-    trainer = Trainer(network, optimizer, profiler=profiler)
-    compressed = CompressedTraining(
-        network,
-        optimizer,
-        compressor=compressor,
-        config=config.adaptive.to_adaptive_config(),
-        storage=storage,
-        param_storage=param_storage,
-        engine=config.engine.build(),
-        policy_table=table,
-        adaptive=config.adaptive.enabled,
-    ).attach(trainer)
+    with building_session():
+        trainer = Trainer(network, optimizer, profiler=profiler)
+        compressed = CompressedTraining(
+            network,
+            optimizer,
+            compressor=compressor,
+            config=config.adaptive.to_adaptive_config(),
+            storage=storage,
+            param_storage=param_storage,
+            engine=config.engine.build(),
+            policy_table=table,
+            adaptive=config.adaptive.enabled,
+        ).attach(trainer)
     return Session(network, optimizer, trainer, config, compressed=compressed)

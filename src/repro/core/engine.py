@@ -94,6 +94,15 @@ class CompressionEngine:
     def flush(self) -> None:
         """Finalize every outstanding pack submission."""
 
+    @property
+    def idle(self) -> bool:
+        """True when no submitted work is outstanding — every pack is
+        finalized and no speculative unpack is in flight.  The gradient
+        exchange asserts this after the post-backward flush: gradients
+        must never be shipped while activation packs are still settling
+        accounts.  Inline strategies are idle by construction."""
+        return True
+
     def close(self) -> None:
         """Finalize or cancel outstanding work and release pool threads."""
 
@@ -589,6 +598,12 @@ class AsyncEngine(CompressionEngine):
     def flush(self) -> None:
         while self._pending:
             self._finalize_next()
+
+    @property
+    def idle(self) -> bool:
+        """No pack awaiting finalization and no speculative decompress
+        charged against the decode-ahead budget."""
+        return not self._pending and self._unpack_inflight_bytes == 0
 
     def close(self) -> None:
         """Shut down mid-flight safely: cancel what can be cancelled,

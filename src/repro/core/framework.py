@@ -80,6 +80,33 @@ from repro.nn.trainer import IterationRecord, Trainer
 __all__ = ["CompressedTraining"]
 
 
+def _warn_legacy_compressed_training(**knobs) -> None:
+    """One DeprecationWarning per hand-wired construction, with a
+    migration hint for each constructor knob actually passed."""
+    from repro.utils.deprecation import warn_legacy
+
+    hints = {
+        "compressor": "compressor=... -> config.codec = CodecSpec(name, options)",
+        "config": "config=AdaptiveConfig(...) -> config.adaptive = AdaptiveSpec(...)",
+        "storage": "storage=ByteArena(...) -> config.storage.activations = 'arena' (+ budget_bytes)",
+        "param_storage": "param_storage=... -> config.storage.params = 'arena' (+ param_budget_bytes / param_codec)",
+        "engine": "engine=... -> config.engine = EngineSpec(kind, workers, ...)",
+        "policy_table": "policy_table=... -> config.rules = [PolicyRule(...), ...]",
+        "adaptive": "adaptive=False -> config.adaptive.enabled = False",
+    }
+    used = [
+        hints[name]
+        for name, value in knobs.items()
+        if value is not None and not (name == "adaptive" and value is True)
+    ]
+    lines = "".join(f"\n  {hint}" for hint in used)
+    warn_legacy(
+        "CompressedTraining(...) is a legacy shim; build the equivalent "
+        "session with repro.api.build_session(network, SessionConfig(...))."
+        + (lines if lines else "")
+    )
+
+
 class CompressedTraining:
     """Session object installing adaptive activation compression.
 
@@ -144,6 +171,15 @@ class CompressedTraining:
         policy_table: Optional[PolicyTable] = None,
         adaptive: bool = True,
     ):
+        _warn_legacy_compressed_training(
+            compressor=compressor,
+            config=config,
+            storage=storage,
+            param_storage=param_storage,
+            engine=engine,
+            policy_table=policy_table,
+            adaptive=adaptive,
+        )
         self.network = network
         self.optimizer = optimizer
         self.config = config or AdaptiveConfig(W=50)

@@ -1,0 +1,143 @@
+"""Gradient-side codec resolution and the error-feedback residual.
+
+The data-parallel exchange compresses every parameter gradient through
+the codec registry.  Which codec a parameter gets is resolved exactly
+like the activation side's :class:`~repro.core.policy_table.PolicyTable`:
+first :class:`~repro.api.config.PolicyRule` whose pattern matches the
+owning layer's name *and* that carries a ``grad_codec`` wins; unmatched
+parameters fall back to ``distributed.grad_codec`` (default:
+``sparse-lossless``, bit-exact).  Worker ranks and the coordinator both
+derive the plan from the same pickled network and the same config, so
+the two sides agree on the codec of every parameter by construction.
+
+Error feedback (``distributed.error_feedback``): each rank keeps a
+per-parameter residual of what compression dropped and folds it into
+the next step's gradient before compressing —
+
+    u_t        = g_t + r_{t-1}
+    sent_t     = decompress(compress(u_t))
+    r_t        = u_t - sent_t
+
+so the *accumulated* applied gradient tracks the true accumulated
+gradient and a bounded-lossy gradient codec converges like the
+single-worker run.  ``decompress`` here is the rank's own round-trip of
+its own compressed object — a pure function of the compressed bytes,
+so the residual equals what the coordinator actually received minus
+what the rank meant to send.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.api.config import CodecSpec, SessionConfig
+from repro.core.policy_table import compile_matcher
+
+__all__ = ["GradParam", "build_grad_plan", "downlink_codec_spec", "ErrorFeedback"]
+
+
+#: the broadcast leg is always bit-exact: every rank applies the *same*
+#: reduced-gradient bytes, which is what keeps rank weights bit-identical
+DOWNLINK_SPEC = CodecSpec("sparse-lossless")
+
+
+def downlink_codec_spec() -> CodecSpec:
+    return CodecSpec(DOWNLINK_SPEC.name, dict(DOWNLINK_SPEC.options))
+
+
+@dataclass
+class GradParam:
+    """One exchanged parameter: its live handle, name, and codec."""
+
+    param: object
+    name: str
+    codec: object
+
+
+def build_grad_plan(network, config: SessionConfig) -> List[GradParam]:
+    """The exchange plan: one :class:`GradParam` per parameter, in
+    deterministic layer-traversal order.
+
+    One codec instance is built per *distinct* codec spec (stateful
+    codecs — codebook caches, worker pools — amortize across the
+    parameters that share a spec), via the registry only.
+    """
+    from repro.nn.network import iter_layers
+
+    rules: List[Tuple[object, CodecSpec]] = [
+        (compile_matcher(rule.match, rule.match_kind), rule.grad_codec)
+        for rule in config.rules
+        if rule.grad_codec is not None
+    ]
+    default_spec = config.distributed.resolved_grad_codec()
+    built: Dict[str, object] = {}
+    plan: List[GradParam] = []
+    for layer in iter_layers(network):
+        for param in layer.parameters():
+            spec = default_spec
+            for matcher, grad_spec in rules:
+                if matcher(layer.name):
+                    spec = grad_spec
+                    break
+            key = json.dumps(
+                {"name": spec.name, "options": spec.options}, sort_keys=True
+            )
+            if key not in built:
+                built[key] = spec.build()
+            plan.append(
+                GradParam(
+                    param=param,
+                    name=getattr(param, "name", None) or layer.name,
+                    codec=built[key],
+                )
+            )
+    if not plan:
+        raise ValueError("network has no parameters to exchange")
+    return plan
+
+
+class ErrorFeedback:
+    """Per-parameter residual accumulator for one rank.
+
+    ``fold(i, grad)`` returns the gradient to compress (grad plus the
+    standing residual); ``settle(i, u, decoded)`` records what the codec
+    dropped this step.  ``last_norm()`` is the RMS residual across every
+    exchanged element of the latest step — the scalar each rank reports
+    so tests and benchmarks can watch the residual shrink.
+    """
+
+    def __init__(self, plan: List[GradParam], enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._residuals = [
+            np.zeros(gp.param.data.shape, dtype=np.float32) for gp in plan
+        ]
+        self._sq_sum = 0.0
+        self._count = 0
+
+    def fold(self, i: int, grad: np.ndarray) -> np.ndarray:
+        if not self.enabled:
+            return grad
+        return grad + self._residuals[i]
+
+    def settle(self, i: int, u: np.ndarray, decoded: np.ndarray) -> None:
+        if not self.enabled:
+            return
+        r = u - decoded
+        self._residuals[i] = r
+        flat = r.ravel()
+        self._sq_sum += float(np.dot(flat, flat))
+        self._count += flat.size
+
+    def begin_step(self) -> None:
+        self._sq_sum = 0.0
+        self._count = 0
+
+    def last_norm(self) -> float:
+        """RMS residual of the latest step (0.0 when disabled/empty)."""
+        if not self._count:
+            return 0.0
+        return float(np.sqrt(self._sq_sum / self._count))

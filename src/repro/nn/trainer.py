@@ -117,6 +117,23 @@ class Trainer:
     ):
         from repro.utils.profiler import StageProfiler
 
+        if param_store is not None or profiler is not None:
+            from repro.utils.deprecation import warn_legacy
+
+            hints = []
+            if param_store is not None:
+                hints.append(
+                    "\n  param_store=... -> config.storage.params = 'arena' "
+                    "(+ param_budget_bytes / param_codec)"
+                )
+            if profiler is not None:
+                hints.append("\n  profiler=True -> config.profiler.enabled = True")
+            warn_legacy(
+                "Trainer's session-level knobs are a legacy shim; build the "
+                "equivalent session with repro.api.build_session(network, "
+                "SessionConfig(compress_activations=False, ...))."
+                + "".join(hints)
+            )
         self.network = network
         self.optimizer = optimizer
         self.loss = loss or SoftmaxCrossEntropy()

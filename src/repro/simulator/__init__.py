@@ -3,11 +3,13 @@
 from repro.simulator.gpu import DeviceSpec, V100, V100_32GB
 from repro.simulator.interconnect import (
     IB_EDR,
+    LOCAL_PIPE,
     Link,
     NVLINK2,
     PCIE3_X16,
     migration_time,
     ring_allreduce_time,
+    star_allreduce_time,
 )
 from repro.simulator.costmodel import (
     LayerCost,
@@ -32,11 +34,13 @@ __all__ = [
     "V100",
     "V100_32GB",
     "IB_EDR",
+    "LOCAL_PIPE",
     "Link",
     "NVLINK2",
     "PCIE3_X16",
     "migration_time",
     "ring_allreduce_time",
+    "star_allreduce_time",
     "LayerCost",
     "activation_bytes",
     "conv_activation_bytes_of",

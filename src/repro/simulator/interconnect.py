@@ -10,7 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Link", "PCIE3_X16", "NVLINK2", "IB_EDR", "migration_time", "ring_allreduce_time"]
+__all__ = [
+    "Link",
+    "PCIE3_X16",
+    "NVLINK2",
+    "IB_EDR",
+    "LOCAL_PIPE",
+    "migration_time",
+    "ring_allreduce_time",
+    "star_allreduce_time",
+]
 
 
 @dataclass(frozen=True)
@@ -23,6 +32,12 @@ class Link:
 PCIE3_X16 = Link("PCIe 3.0 x16", 12e9, 5e-6)
 NVLINK2 = Link("NVLink 2.0", 75e9, 2e-6)
 IB_EDR = Link("InfiniBand EDR", 11e9, 2e-6)
+#: a same-host multiprocessing pipe — what repro.distributed's
+#: coordinator-star exchange actually runs over.  Effective bandwidth is
+#: dominated by pickling + two kernel copies (measured on the DDP
+#: bench against the real exchange; bench_ddp records the
+#: measured-vs-modeled ratio), latency by the syscall round-trip.
+LOCAL_PIPE = Link("local pipe", 1.2e9, 30e-6)
 
 
 def migration_time(nbytes: float, link: Link) -> float:
@@ -45,3 +60,35 @@ def ring_allreduce_time(nbytes: float, workers: int, link: Link) -> float:
     p = workers
     steps = 2 * (p - 1)
     return steps * link.latency + 2 * (p - 1) / p * nbytes / link.bandwidth
+
+
+def star_allreduce_time(
+    uplink_nbytes: float,
+    downlink_nbytes: float,
+    workers: int,
+    link: Link,
+    reduce_seconds: float = 0.0,
+) -> float:
+    """Coordinator-star all-reduce: every rank ships *uplink_nbytes* to
+    one coordinator, which reduces and broadcasts *downlink_nbytes* back
+    — the topology :mod:`repro.distributed` implements.
+
+    The coordinator serializes both legs over its one link, so the cost
+    is ``p`` uplink transfers plus ``p`` downlink transfers plus the
+    reduction itself.  Compression changes the byte counts per leg
+    independently (lossy uplink, lossless broadcast), which is why the
+    two are separate parameters.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    for nbytes in (uplink_nbytes, downlink_nbytes):
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+    if reduce_seconds < 0:
+        raise ValueError("reduce time must be non-negative")
+    if workers == 1:
+        return 0.0
+    p = workers
+    per_leg = 2 * p * link.latency
+    wire = p * (uplink_nbytes + downlink_nbytes) / link.bandwidth
+    return per_leg + wire + reduce_seconds

@@ -1,0 +1,39 @@
+"""Legacy-shim deprecation plumbing.
+
+The pre-``build_session`` constructors (``CompressedTraining``, the
+session-level knobs of ``Trainer``) survive as equivalence-tested shims
+but point new code at the declarative front door.  They warn through
+:func:`warn_legacy`, which stays silent while ``build_session`` itself
+is composing the stack — the front door legitimately constructs the
+same classes, and a deprecation warning from inside the replacement
+would be noise.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+
+__all__ = ["building_session", "warn_legacy"]
+
+_suppress = 0
+
+
+@contextmanager
+def building_session():
+    """Mark a ``build_session`` composition in progress (re-entrant);
+    :func:`warn_legacy` calls under it are suppressed."""
+    global _suppress
+    _suppress += 1
+    try:
+        yield
+    finally:
+        _suppress -= 1
+
+
+def warn_legacy(message: str) -> None:
+    """Emit a :class:`DeprecationWarning` for a legacy construction
+    path, unless the construction is on ``build_session``'s behalf."""
+    if _suppress:
+        return
+    warnings.warn(message, DeprecationWarning, stacklevel=3)

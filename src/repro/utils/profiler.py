@@ -23,7 +23,10 @@ put/get/spill), ``engine-wait`` (training thread blocked on an async
 pack or prefetch), ``unpack-ahead`` (speculative decompress on the
 worker pool), ``bind-window`` (param-store window materialization and
 next-window staging), ``step`` (whole training iteration, recorded by
-the trainer).  Custom stages are just new names.
+the trainer), and the distributed exchange's ``grad-pack`` /
+``grad-exchange`` / ``grad-unpack`` (rank side) and ``grad-reduce``
+(coordinator side, hidden behind the ranks' exchange wait).  Custom
+stages are just new names.
 
 Overlap accounting: a stage bracketed with ``hidden=True`` runs off the
 critical path (engine worker threads) — its seconds count toward the
@@ -153,15 +156,16 @@ class StageProfiler:
 
         Returns ``{stage: {"seconds", "hidden_seconds",
         "exposed_seconds", "hidden_fraction"}}`` for every stage that
-        recorded hidden time, plus ``engine-wait`` (always fully
-        exposed: the training thread blocked on the engine) when
-        present — the two sides of the pipeline-overlap ledger.
+        recorded hidden time, plus the always-exposed wait stages when
+        present — ``engine-wait`` (the training thread blocked on the
+        engine) and ``grad-exchange`` (a rank blocked on the reduced
+        gradient) — the two sides of the pipeline-overlap ledger.
         """
         with self._lock:
             out: Dict[str, Dict[str, float]] = {}
             for name in sorted(self._seconds):
                 hidden = self._hidden.get(name, 0.0)
-                if hidden <= 0.0 and name != "engine-wait":
+                if hidden <= 0.0 and name not in ("engine-wait", "grad-exchange"):
                     continue
                 total = self._seconds[name]
                 out[name] = {

@@ -367,3 +367,99 @@ class TestPipelineOverlapKnobs:
         assert cfg is not None
         assert cfg.engine.bind_window_bytes == 1 << 20
         assert cfg.engine.shared_codebook_cache is True
+
+
+class TestDistributedSpec:
+    def cfg(self, **kw):
+        from repro.api import DistributedSpec
+
+        return SessionConfig(distributed=DistributedSpec(**kw))
+
+    def test_round_trip_identity(self):
+        from repro.api import DistributedSpec
+
+        cfg = SessionConfig(
+            distributed=DistributedSpec(
+                world_size=4,
+                grad_codec=CodecSpec("szlike", {"error_bound": 1e-3, "mode": "abs"}),
+                error_feedback=False,
+                reduce_order="linear",
+                rank_arena_budget=1 << 20,
+            ),
+            storage=StorageSpec(activations="arena", budget_bytes=4 << 20),
+        )
+        cfg.validate()
+        d = cfg.to_dict()
+        assert SessionConfig.from_dict(d).to_dict() == d
+        assert SessionConfig.from_json(cfg.to_json()).to_dict() == d
+
+    def test_defaults_stay_sparse(self):
+        assert "distributed" not in SessionConfig().to_dict()
+        assert self.cfg(world_size=2).to_dict() == {"distributed": {"world_size": 2}}
+
+    def test_committed_ddp_config_round_trips(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "configs",
+            "ddp_vgg.json",
+        )
+        cfg = SessionConfig.from_json(path)
+        cfg.validate()
+        assert cfg.distributed.world_size == 2
+        assert cfg.distributed.grad_codec.name == "szlike"
+        assert SessionConfig.from_json(cfg.to_json()).to_dict() == cfg.to_dict()
+
+    def test_unknown_key_names_the_section(self):
+        with pytest.raises(ConfigError, match="distributed"):
+            SessionConfig.from_dict({"distributed": {"wrold_size": 2}})
+
+    def test_world_size_error_names_the_section(self):
+        with pytest.raises(ConfigError, match="distributed: world_size"):
+            self.cfg(world_size=0).validate()
+        with pytest.raises(ConfigError, match="distributed: world_size"):
+            self.cfg(world_size=True).validate()
+
+    def test_reduce_order_validated(self):
+        with pytest.raises(ConfigError, match="distributed: reduce_order"):
+            self.cfg(world_size=2, reduce_order="ring").validate()
+
+    def test_unbounded_lossy_grad_codec_rejected(self):
+        with pytest.raises(
+            ConfigError, match="distributed.grad_codec.*error-bounded.*lossless"
+        ):
+            self.cfg(world_size=2, grad_codec=CodecSpec("jpeg")).validate()
+
+    def test_error_bounded_and_lossless_grad_codecs_accepted(self):
+        for spec in (
+            CodecSpec("szlike", {"error_bound": 1e-3}),
+            CodecSpec("lossless"),
+            CodecSpec("sparse-lossless"),
+        ):
+            self.cfg(world_size=2, grad_codec=spec).validate()
+
+    def test_rule_grad_codec_requires_distributed(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", grad_codec=CodecSpec("sparse-lossless"))]
+        )
+        with pytest.raises(ConfigError, match="world_size > 1"):
+            cfg.validate()
+
+    def test_rule_grad_codec_round_trips(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", grad_codec=CodecSpec("sparse-lossless"))],
+        )
+        cfg.distributed.world_size = 2
+        cfg.validate()
+        d = cfg.to_dict()
+        assert SessionConfig.from_dict(d).to_dict() == d
+        back = SessionConfig.from_dict(d)
+        assert back.rules[0].grad_codec.name == "sparse-lossless"
+
+    def test_rank_arena_budget_requires_arena_storage(self):
+        with pytest.raises(ConfigError, match="rank_arena_budget"):
+            self.cfg(world_size=2, rank_arena_budget=1 << 20).validate()
+
+    def test_rank_arena_budget_must_be_positive(self):
+        with pytest.raises(ConfigError, match="rank_arena_budget"):
+            self.cfg(world_size=2, rank_arena_budget=-4).validate()

@@ -424,3 +424,51 @@ class TestPipelineOverlapWiring:
         cfg.to_json(str(path))
         rebuilt = SessionConfig.from_json(str(path))
         assert rebuilt == cfg
+
+
+class TestConfigRoundTripSurface:
+    """Satellite: Session.from_json + session.capture() identities."""
+
+    def test_from_json_builds_and_trains(self, tmp_path):
+        cfg = SessionConfig(adaptive=AdaptiveSpec(W=10, warmup_iterations=2))
+        path = tmp_path / "run.json"
+        cfg.to_json(str(path))
+        from repro.api import Session
+
+        with Session.from_json(str(path), make_net()) as s:
+            losses_file = run(s)
+        with build_session(make_net(), cfg) as s:
+            losses_cfg = run(s)
+        np.testing.assert_array_equal(losses_file, losses_cfg)
+
+    def test_capture_is_identity(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", codec=CodecSpec("lossless"))],
+            engine=EngineSpec(kind="async", workers=2),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            captured = s.capture()
+        assert captured.to_dict() == cfg.to_dict()
+        assert captured is not cfg  # an independent copy
+
+    def test_capture_round_trips_distributed_config(self):
+        from repro.api import DistributedSpec
+
+        cfg = SessionConfig(
+            compress_activations=False,
+            distributed=DistributedSpec(world_size=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            captured = s.capture()
+        assert captured.to_dict() == cfg.to_dict()
+        assert captured.distributed.world_size == 2
+
+    def test_captured_config_rebuilds_the_same_run(self):
+        cfg = SessionConfig(adaptive=AdaptiveSpec(W=10, warmup_iterations=2))
+        with build_session(make_net(), cfg) as s:
+            losses_a = run(s)
+            captured = s.capture()
+        with build_session(make_net(), captured) as s:
+            losses_b = run(s)
+        np.testing.assert_array_equal(losses_a, losses_b)

@@ -1,0 +1,105 @@
+"""Legacy shims warn (with migration hints); build_session stays quiet."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.api import SessionConfig, build_session
+from repro.core import AdaptiveConfig, CompressedTraining
+from repro.core.arena import ByteArena
+from repro.models import build_scaled_model
+from repro.nn import SGD, Trainer
+
+
+def make_net(seed=42):
+    return build_scaled_model("alexnet", num_classes=8, image_size=16, rng=seed)
+
+
+def deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestLegacyShimWarnings:
+    def test_compressed_training_warns_and_points_at_build_session(self):
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            CompressedTraining(net, opt)
+        found = deprecations(record)
+        assert len(found) == 1
+        assert "build_session" in str(found[0].message)
+
+    def test_knob_specific_migration_hints(self):
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            CompressedTraining(
+                net,
+                opt,
+                config=AdaptiveConfig(W=10, warmup_iterations=2),
+                storage=ByteArena(budget_bytes=1 << 20),
+            )
+        msg = str(deprecations(record)[0].message)
+        assert "config.adaptive = AdaptiveSpec" in msg
+        assert "config.storage.activations = 'arena'" in msg
+        assert "param_codec" not in msg  # hints only for knobs passed
+
+    def test_trainer_session_knobs_warn(self):
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            trainer = Trainer(net, opt, profiler=True)
+        trainer.close()  # releases the process-wide active profiler
+        msg = str(deprecations(record)[0].message)
+        assert "config.profiler.enabled = True" in msg
+
+    def test_plain_trainer_does_not_warn(self):
+        net = make_net()
+        opt = SGD(net.parameters(), lr=0.01)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            Trainer(net, opt)
+        assert deprecations(record) == []
+
+    def test_build_session_emits_no_deprecation_warnings(self):
+        """The front door constructs the same classes internally;
+        its own compositions must stay silent."""
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with build_session(make_net(), SessionConfig()):
+                pass
+        assert deprecations(record) == []
+
+    def test_deprecated_path_still_trains_identically(self):
+        """The shim warns but keeps its equivalence contract."""
+        from repro.nn import SyntheticImageDataset, batches
+
+        def run(use_shim):
+            net = make_net()
+            dataset = SyntheticImageDataset(num_classes=8, image_size=16, seed=5)
+            stream = batches(dataset, 4, 3, seed=1)
+            if use_shim:
+                opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+                trainer = Trainer(net, opt)
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    CompressedTraining(
+                        net, opt, config=AdaptiveConfig(W=10, warmup_iterations=2)
+                    ).attach(trainer)
+                trainer.train(stream)
+                losses = list(trainer.history.losses)
+                trainer.close()
+                return losses
+            from repro.api import AdaptiveSpec
+
+            cfg = SessionConfig(adaptive=AdaptiveSpec(W=10, warmup_iterations=2))
+            with build_session(net, cfg) as s:
+                s.train(stream)
+                return list(s.history.losses)
+
+        np.testing.assert_array_equal(run(True), run(False))

@@ -157,3 +157,49 @@ class TestThroughputShapes:
         sim = TrainingSimulator("alexnet", V100)
         out = sim.sweep([8, 16, 32])
         assert sorted(out) == [8, 16, 32]
+
+
+class TestStarAllreduce:
+    """The coordinator-star cost model repro.distributed implements."""
+
+    def test_single_worker_free(self):
+        from repro.simulator import LOCAL_PIPE, star_allreduce_time
+
+        assert star_allreduce_time(1e6, 1e6, 1, LOCAL_PIPE) == 0.0
+
+    def test_cost_decomposition(self):
+        from repro.simulator import LOCAL_PIPE, star_allreduce_time
+
+        p, up, down, red = 4, 2e6, 3e6, 0.01
+        t = star_allreduce_time(up, down, p, LOCAL_PIPE, reduce_seconds=red)
+        expected = (
+            2 * p * LOCAL_PIPE.latency
+            + p * (up + down) / LOCAL_PIPE.bandwidth
+            + red
+        )
+        assert t == pytest.approx(expected)
+
+    def test_compression_shrinks_the_uplink_leg_only(self):
+        from repro.simulator import LOCAL_PIPE, star_allreduce_time
+
+        full = star_allreduce_time(4e6, 4e6, 2, LOCAL_PIPE)
+        compressed = star_allreduce_time(1e6, 4e6, 2, LOCAL_PIPE)
+        saved = 2 * 3e6 / LOCAL_PIPE.bandwidth
+        assert full - compressed == pytest.approx(saved)
+
+    def test_linear_in_workers_unlike_ring(self):
+        from repro.simulator import LOCAL_PIPE, star_allreduce_time
+
+        t2 = star_allreduce_time(1e6, 1e6, 2, LOCAL_PIPE)
+        t4 = star_allreduce_time(1e6, 1e6, 4, LOCAL_PIPE)
+        assert t4 == pytest.approx(2 * t2)
+
+    def test_validation(self):
+        from repro.simulator import LOCAL_PIPE, star_allreduce_time
+
+        with pytest.raises(ValueError):
+            star_allreduce_time(1e6, 1e6, 0, LOCAL_PIPE)
+        with pytest.raises(ValueError):
+            star_allreduce_time(-1.0, 1e6, 2, LOCAL_PIPE)
+        with pytest.raises(ValueError):
+            star_allreduce_time(1e6, 1e6, 2, LOCAL_PIPE, reduce_seconds=-1.0)
