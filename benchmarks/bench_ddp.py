@@ -19,6 +19,19 @@ Three records per run:
   the discrepancy visible rather than assumed away.
 
 ``REPRO_BENCH_QUICK=1`` shrinks the iteration count for CI.
+
+``--payload-scale N`` (pytest option) widens the net with a hidden
+linear layer so per-step gradient payloads grow toward MB scale; the
+bigger transfers amortize the per-message latency + skew terms the
+model ignores, pulling the measured/modeled ratio down several-fold
+(~30-40x at the default toy payloads vs ~10x at ``--payload-scale 8``
+in the 1-core dev container, where rank skew never fully amortizes).
+**Gating decision**: the ratio stays *ungated* at every scale — its
+numerator is wall-clock pipe throughput plus scheduler skew of the
+runner (machine-dependent, noisy on shared CI), unlike the
+deterministic compression-ratio gates.  The JSON records it (with the
+scale and per-step payload bytes in the context/metrics) so the
+trajectory stays visible across runs on the same hardware.
 """
 
 import time
@@ -39,12 +52,18 @@ WORLD_SIZES = (1, 2, 4)
 GRAD_CODEC = CodecSpec("szlike", {"error_bound": 1e-3, "mode": "abs"})
 
 
-def make_net(seed=42):
+def make_net(seed=42, payload_scale=1.0):
     specs = [
         ConvS(8, 3, padding=1), ReLUS(), MaxPoolS(2),
         ConvS(16, 3, padding=1), ReLUS(),
         FlattenS(), LinearS(8),
     ]
+    if payload_scale != 1.0:
+        # a hidden linear layer carries the extra gradient payload
+        # (~576 * 64 * scale weights); the default architecture stays
+        # byte-identical so the committed ratio gates are unaffected
+        hidden = max(8, int(round(64 * payload_scale)))
+        specs[-1:-1] = [LinearS(hidden), ReLUS()]
     return build_network(specs, (BATCH, 3, IMAGE, IMAGE), rng=seed)
 
 
@@ -55,7 +74,7 @@ def data():
     return batches(dataset, BATCH, ITERS, seed=1)
 
 
-def run_world(world_size):
+def run_world(world_size, payload_scale=1.0):
     cfg = SessionConfig(
         compress_activations=False,
         profiler=ProfilerSpec(enabled=True),
@@ -63,7 +82,7 @@ def run_world(world_size):
         if world_size > 1
         else DistributedSpec(),
     )
-    net = make_net()
+    net = make_net(payload_scale=payload_scale)
     session = build_session(net, cfg)
     t0 = time.perf_counter()
     session.train(data())
@@ -103,15 +122,18 @@ def measured_exchange_ms(snapshot):
     return 1e3 * rec["seconds"] / rec["calls"]
 
 
-def test_ddp_report(benchmark):
+def test_ddp_report(benchmark, request):
+    payload_scale = float(request.config.getoption("--payload-scale"))
     results = benchmark.pedantic(
-        lambda: {w: run_world(w) for w in WORLD_SIZES}, rounds=1, iterations=1
+        lambda: {w: run_world(w, payload_scale) for w in WORLD_SIZES},
+        rounds=1,
+        iterations=1,
     )
 
     rows = [
         "Data-parallel exchange — step latency / compression / fabric model",
         f"(net: 2-conv stack, batch {BATCH}, {ITERS} iters, "
-        f"grad codec szlike abs 1e-3)",
+        f"grad codec szlike abs 1e-3, payload scale {payload_scale:g})",
         f"{'world':>5s} {'step ms':>9s} {'uplink x':>9s} {'downlink x':>11s} "
         f"{'wire ms':>8s} {'model ms':>9s} {'meas/model':>11s}",
         "(wire ms = rank exchange wait minus coordinator reduce: pipe "
@@ -131,14 +153,17 @@ def test_ddp_report(benchmark):
         stats = r["stats"]
         up_ratio = stats["per_rank"][0]["ratio"]
         down_ratio = stats["downlink"]["ratio"]
+        uplink_bytes = stats["per_rank"][0]["compressed_bytes"] / stats["steps"]
         meas = measured_exchange_ms(r["snapshot"])
         wire_model, reduce_meas = fabric_legs_ms(stats, r["snapshot"], w)
         wire_meas = max(meas - reduce_meas, 0.0)
         ratio = wire_meas / wire_model if wire_model > 0 else float("inf")
-        # deterministic for a fixed codec/data stream: a stable gate
+        # deterministic for a fixed codec/data stream: a stable gate —
+        # but only at the default scale the committed baseline measured
         metrics[f"grad_uplink_ratio_ws{w}"] = metric(
-            up_ratio, "x", gate=True, tolerance=0.15
+            up_ratio, "x", gate=payload_scale == 1.0, tolerance=0.15
         )
+        metrics[f"uplink_bytes_per_step_ws{w}"] = metric(uplink_bytes, "B")
         metrics[f"grad_downlink_ratio_ws{w}"] = metric(down_ratio, "x")
         metrics[f"fabric_wire_measured_vs_modeled_ws{w}"] = metric(
             ratio, "x", higher_is_better=False
@@ -165,6 +190,7 @@ def test_ddp_report(benchmark):
             "iters": ITERS,
             "batch": BATCH,
             "world_sizes": list(WORLD_SIZES),
+            "payload_scale": payload_scale,
             "grad_codec": GRAD_CODEC.to_dict(),
             "link": {
                 "name": LOCAL_PIPE.name,

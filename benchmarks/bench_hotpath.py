@@ -42,6 +42,7 @@ from repro.compression.szlike import SharedCodebookCache, build_codebook
 from repro.compression.szlike.huffman import _encode_bitplane, huffman_encode
 from repro.compression.szlike.lorenzo import lorenzo_encode
 from repro.compression.szlike.quantizer import codes_from_residuals, prequantize
+from repro.kernels import available_backends, kernel_stats
 from repro.utils import StageProfiler
 
 #: VGG-16 conv3-class activation (the paper's headline workload)
@@ -175,6 +176,25 @@ def test_hotpath_amortized_compress(stream, benchmark):
     steady_adoptions = sum(s["shared_adoptions"] for s in worker_stats[1:])
     shared_adoption_rate = steady_adoptions / steady_calls
 
+    # -- kernel backend axis: encode/decode per available backend --------
+    # Same stream, one codec per backend.  "auto" probing + warmup ran at
+    # import, so JIT compilation never lands inside these timings.
+    backend_times = {}
+    for backend in available_backends():
+        comp_b = SZCompressor(EB, entropy="huffman", kernel_backend=backend)
+        comp_b.compress(stream[0])  # warm the scratch pool
+        enc = dec = 0.0
+        for x in stream[1:]:
+            t0 = time.perf_counter()
+            ct_b = comp_b.compress(x)
+            t1 = time.perf_counter()
+            comp_b.decompress(ct_b)
+            t2 = time.perf_counter()
+            enc += t1 - t0
+            dec += t2 - t1
+        backend_times[backend] = {"encode": enc, "decode": dec}
+    auto_selected = SZCompressor(EB, entropy="huffman").kernel_backend_selected
+
     snap = profiler.snapshot()
     rows = [
         f"Amortized entropy hot path on {SHAPE} float32 x {STEPS} steps"
@@ -195,8 +215,14 @@ def test_hotpath_amortized_compress(stream, benchmark):
         f"shared codebook cache (process pool): {cold_builds} cold build, "
         f"{steady_builds} steady-state builds across {steady_calls} worker "
         f"compresses ({steady_adoptions} segment adoptions)",
-        "profiler stages (steady-state loop):",
+        f"kernel backends: {', '.join(backend_times)} (auto -> {auto_selected})",
     ]
+    for backend, t in backend_times.items():
+        rows.append(
+            f"  {backend:8s} encode {mb / t['encode']:>7.1f} MB/s, "
+            f"decode {mb / t['decode']:>7.1f} MB/s"
+        )
+    rows += ["profiler stages (steady-state loop):"]
     rows += ["  " + line for line in profiler.report_lines()]
     write_report("hotpath", rows)
 
@@ -233,12 +259,25 @@ def test_hotpath_amortized_compress(stream, benchmark):
             "shared_adoption_rate": metric(
                 shared_adoption_rate, "frac", gate=True, tolerance=0.01
             ),
+            # Per-backend throughput (ungated: the backend set varies by
+            # host; the numba-vs-numpy ordering is hard-asserted below).
+            **{
+                f"{stage}_mb_per_s_{backend}": metric(mb / t[stage], "MB/s")
+                for backend, t in backend_times.items()
+                for stage in ("encode", "decode")
+            },
         },
         context={
             "shape": list(SHAPE),
             "steps": STEPS,
             "cache": stats,
             "shared_cache": {"cold": worker_stats[0], "steady": worker_stats[-1]},
+            "kernel_backends": {
+                "available": list(backend_times),
+                "auto_selected": auto_selected,
+                "stats": kernel_stats(),
+                "times": backend_times,
+            },
             "profiler": snap,
         },
     )
@@ -254,6 +293,17 @@ def test_hotpath_amortized_compress(stream, benchmark):
         assert speedup_vs_legacy >= 1.5, (
             f"steady-state compress only {speedup_vs_legacy:.2f}x faster than legacy"
         )
+    # Where numba is installed the compiled backend must be no slower
+    # than the reference on either stage (small margin for timer noise;
+    # quick/CI containers get a wider one).
+    if "numba" in backend_times:
+        margin = 1.25 if QUICK else 1.05
+        for stage in ("encode", "decode"):
+            t_numba = backend_times["numba"][stage]
+            t_numpy = backend_times["numpy"][stage]
+            assert t_numba <= t_numpy * margin, (
+                f"numba {stage} {t_numba:.3f}s slower than numpy {t_numpy:.3f}s"
+            )
 
 
 def test_hotpath_cache_matches_fresh_bits(stream):

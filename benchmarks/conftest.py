@@ -2,3 +2,14 @@ import sys
 import os
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--payload-scale",
+        type=float,
+        default=1.0,
+        help="bench_ddp: widen the net so per-step gradient payloads grow "
+        "by roughly this factor (e.g. 8 pushes the exchange to MB-scale "
+        "payloads, where the fabric model's wire leg dominates skew)",
+    )

@@ -232,6 +232,11 @@ class PolicyRule:
         exchange (``distributed.world_size > 1``); ``None`` inherits
         ``distributed.grad_codec``.  Must be error-bounded or lossless —
         the same contract the session-wide gradient codec obeys.
+    kernel_backend:
+        Kernel backend (``"numpy"``/``"numba"``/``"auto"``) for the
+        matched layers' codec; ``None`` inherits
+        ``engine.kernel_backend``.  Applies to szlike-family codecs
+        (directly or inside ``chunked``); other codecs ignore it.
     """
 
     match: str = "*"
@@ -246,6 +251,7 @@ class PolicyRule:
     eb_max: Optional[float] = None
     arena_budget: Optional[int] = None
     grad_codec: Optional[CodecSpec] = None
+    kernel_backend: Optional[str] = None
 
     def resolved_adaptive(self) -> bool:
         return self.adaptive if self.adaptive is not None else self.error_bound is None
@@ -306,6 +312,14 @@ class PolicyRule:
                 )
         if self.grad_codec is not None:
             _validate_grad_codec(self.grad_codec, f"{where}.grad_codec")
+        if self.kernel_backend is not None:
+            from repro.kernels import KERNEL_BACKENDS
+
+            if self.kernel_backend not in KERNEL_BACKENDS:
+                raise ConfigError(
+                    f"{where}: kernel_backend must be one of {KERNEL_BACKENDS} "
+                    f"or omitted, got {self.kernel_backend!r}"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         return _sparse_dict(
@@ -405,7 +419,10 @@ class EngineSpec:
     ``"auto"`` adapts); ``shared_codebook_cache`` upgrades process-pool
     chunked codecs to a cross-process codebook segment;
     ``bind_window_bytes`` groups adjacent small layers into one
-    param-store bind window (``0`` disables).
+    param-store bind window (``0`` disables); ``kernel_backend`` picks
+    the compiled-kernel implementation for szlike-family codecs
+    (``"auto"`` probes Numba and falls back to NumPy — see
+    :mod:`repro.kernels`).
     """
 
     kind: str = "sync"  # "sync" | "async"
@@ -416,6 +433,7 @@ class EngineSpec:
     unpack_depth: Union[int, str, None] = None  # int, "auto", or follow prefetch
     shared_codebook_cache: bool = False
     bind_window_bytes: int = 0
+    kernel_backend: str = "auto"
 
     def validate(self, where: str = "engine") -> None:
         if self.kind not in ("sync", "async"):
@@ -471,6 +489,13 @@ class EngineSpec:
             raise ConfigError(
                 f"{where}: bind_window_bytes must be an int >= 0, "
                 f"got {self.bind_window_bytes!r}"
+            )
+        from repro.kernels import KERNEL_BACKENDS
+
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigError(
+                f"{where}: kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
             )
 
     def build(self):

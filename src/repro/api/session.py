@@ -31,6 +31,27 @@ from repro.core.policy_table import PolicyTable, ResolvedPolicy, compile_matcher
 __all__ = ["Session", "build_session", "build_policy_table"]
 
 
+def _apply_kernel_backend(codec, backend: str, where: str) -> None:
+    """Route *backend* to the szlike kernels inside *codec*.
+
+    :class:`~repro.compression.registry.ChunkedCodec` wrappers are
+    unwrapped to their inner codec; codecs without a kernel backend
+    (lossless, jpeg) silently ignore the setting.  An unavailable
+    explicit backend (``"numba"`` without numba installed) surfaces as
+    a :class:`ConfigError` naming the offending config location.
+    """
+    inner = getattr(codec, "inner", None)
+    if inner is not None:
+        codec = inner
+    setter = getattr(codec, "set_kernel_backend", None)
+    if setter is None:
+        return
+    try:
+        setter(backend)
+    except ValueError as exc:
+        raise ConfigError(f"{where}: {exc}") from exc
+
+
 def build_policy_table(rules: List[PolicyRule]) -> Optional[PolicyTable]:
     """Compile declarative :class:`PolicyRule` specs into a live
     :class:`PolicyTable` (codec instances built once per rule and shared
@@ -152,6 +173,24 @@ class Session:
 
         return sanitizer.report()
 
+    @property
+    def kernel_stats(self) -> dict:
+        """Process-wide kernel-backend counters (probe outcome, auto
+        fallbacks, runtime fallbacks — see :mod:`repro.kernels`) plus
+        ``selected_backend``: the backend serving this session's codec
+        (``None`` for codecs without kernel backends)."""
+        from repro.kernels import kernel_stats
+
+        stats = dict(kernel_stats())
+        codec = (
+            getattr(self.compressed.ctx, "compressor", None)
+            if self.compressed is not None
+            else None
+        )
+        codec = getattr(codec, "inner", codec)
+        stats["selected_backend"] = getattr(codec, "kernel_backend_selected", None)
+        return stats
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Tear everything down exactly once: flush in-flight packs,
@@ -260,6 +299,28 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
                 storage.set_group_budget(pol.label, pol.arena_budget)
 
     compressor = config.codec.build()
+    engine_backend = config.engine.kernel_backend
+    if "kernel_backend" not in config.codec.options:
+        # The engine-level default applies unless the codec spec pins
+        # its own backend explicitly.
+        _apply_kernel_backend(compressor, engine_backend, "engine.kernel_backend")
+    if table is not None:
+        for rule, pol in zip(table.source_rules, table.rules):
+            backend = rule.kernel_backend
+            if backend is None and pol.codec is not None:
+                opts = rule.codec.options if rule.codec is not None else {}
+                if "kernel_backend" not in opts:
+                    backend = engine_backend
+            if backend is None:
+                continue
+            if pol.codec is None:
+                # A per-layer backend override without a per-rule codec:
+                # the rule gets its own clone of the session codec so the
+                # override doesn't leak to unmatched layers.
+                pol.codec = config.codec.build()
+            _apply_kernel_backend(
+                pol.codec, backend, f"rule (match={rule.match!r}).kernel_backend"
+            )
     if config.engine.shared_codebook_cache:
         from repro.compression.registry import ensure_shared_codebook_cache
 

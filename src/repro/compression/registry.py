@@ -177,7 +177,7 @@ def spec_of(codec: Codec) -> Dict[str, Any]:
         options = _nondefault_options(
             codec,
             ("error_bound", "mode", "dict_size", "lorenzo_ndim", "entropy",
-             "zero_filter", "zlib_level"),
+             "zero_filter", "zlib_level", "kernel_backend"),
             d,
         )
         if codec.codebook_cache is not None:

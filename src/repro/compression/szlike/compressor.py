@@ -59,14 +59,11 @@ from repro.compression.szlike.huffman import (
     huffman_decode,
     huffman_encode,
 )
-from repro.compression.szlike.lorenzo import lorenzo_decode, lorenzo_encode
 from repro.compression.szlike.quantizer import (
     QuantizedResiduals,
-    codes_from_residuals_into,
-    prequantize_into,
     reconstruct,
-    residuals_from_codes,
 )
+from repro.kernels import KERNEL_BACKENDS, get_backend
 from repro.utils import profiler
 from repro.utils.scratch import ScratchPool
 
@@ -186,6 +183,13 @@ class SZCompressor:
         cached book's bits on the fresh histogram exceed
         ``max(shannon_bits, count)`` by more than this fraction.
         Ignored when an explicit cache instance is supplied.
+    kernel_backend:
+        Inner-loop implementation for the quantize/predict/entropy hot
+        kernels: ``"numpy"`` (reference), ``"numba"`` (compiled; raises
+        at construction when numba is unavailable), or ``"auto"``
+        (default — probe numba once, warm it up off the profiled path,
+        degrade to numpy counted-never-raised).  Every backend is
+        bit-identical by contract; see :mod:`repro.kernels`.
     """
 
     #: registry metadata (see :mod:`repro.compression.registry`)
@@ -212,10 +216,15 @@ class SZCompressor:
         codebook_cache: Union[bool, CodebookCache] = False,
         codebook_refresh: int = 64,
         codebook_delta: float = 0.10,
+        kernel_backend: str = "auto",
         rng=None,
     ):
         if mode not in ("abs", "rel"):
             raise ValueError(f"mode must be 'abs' or 'rel', got {mode!r}")
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, got {kernel_backend!r}"
+            )
         if error_bound <= 0:
             raise ValueError(f"error bound must be positive, got {error_bound}")
         if dict_size < 4 or dict_size & (dict_size - 1):
@@ -255,21 +264,45 @@ class SZCompressor:
         #: reusable scratch buffers for the quantize/predict/code
         #: intermediates (thread-safe; shared by ChunkedCodec workers)
         self._scratch = ScratchPool()
+        #: requested backend name (``"auto"`` re-resolves per process)
+        self.kernel_backend = kernel_backend
+        self._kernels = get_backend(kernel_backend)
 
-    # Locks and scratch buffers don't pickle; ChunkedCodec(executor=
-    # "process") ships the inner codec to pool workers, so drop them and
-    # rebuild.  A cached codebook state resets too (CodebookCache's own
-    # __getstate__) — workers re-warm independently.
+    @property
+    def kernel_backend_selected(self) -> str:
+        """The backend actually serving this codec's hot loops (``"auto"``
+        resolves to ``"numba"`` or ``"numpy"`` at construction)."""
+        return self._kernels.name
+
+    def set_kernel_backend(self, kernel_backend: str) -> None:
+        """Re-point the hot loops at *kernel_backend* (same validation
+        and resolution as the constructor; ``"numba"`` raises when
+        unavailable)."""
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, got {kernel_backend!r}"
+            )
+        self._kernels = get_backend(kernel_backend)
+        self.kernel_backend = kernel_backend
+
+    # Locks, scratch buffers, and kernel callables don't pickle;
+    # ChunkedCodec(executor="process") ships the inner codec to pool
+    # workers, so drop them and rebuild (``"auto"`` re-probes in the
+    # worker — a host-side numba never forces itself on a worker that
+    # lacks it).  A cached codebook state resets too (CodebookCache's
+    # own __getstate__) — workers re-warm independently.
     def __getstate__(self):
         state = self.__dict__.copy()
         del state["_rng_lock"]
         del state["_scratch"]
+        del state["_kernels"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._rng_lock = threading.Lock()
         self._scratch = ScratchPool()
+        self._kernels = get_backend(self.kernel_backend)
 
     # -- helpers ---------------------------------------------------------
     def resolve_error_bound(self, x: np.ndarray) -> float:
@@ -290,29 +323,19 @@ class SZCompressor:
     def _quantized_codes(self, x: np.ndarray, eb: float, stack: ExitStack):
         """Run quantize -> predict -> codes over pooled scratch buffers.
 
-        Returns ``(qr, flat_delta)``; both reference pooled memory owned
-        by *stack*, so they are valid only until the stack closes.
+        The whole front half is one backend kernel (``quantize_encode``:
+        grid round, Lorenzo prediction, bounded-code mapping — fused on
+        compiled backends).  Returns ``(qr, flat_delta)``; both
+        reference pooled memory owned by *stack*, so they are valid only
+        until the stack closes.
         """
         ndim = self._effective_ndim(x)
-        take = self._scratch.take
-        with profiler.stage("quantize"):
-            work = stack.enter_context(take(x.shape, np.float64))
-            qa = stack.enter_context(take(x.shape, np.int64))
-            prequantize_into(x, eb, out=qa, work=work)
-        with profiler.stage("predict"):
-            qb = stack.enter_context(take(x.shape, np.int64))
-            # Ping-pong between the two int64 buffers; qa's contents are
-            # disposable once the first difference lands in qb.
-            delta = lorenzo_encode(qa, ndim, out=qb, work=qa)
-            flat = delta.reshape(-1)
-            other = (qa if delta is qb else qb).reshape(-1)
-            mask = stack.enter_context(take(flat.shape, bool))
-            work_mask = stack.enter_context(take(flat.shape, bool))
-            dtype = np.uint16 if 2 * self.radius <= np.iinfo(np.uint16).max else np.uint32
-            codes = stack.enter_context(take(flat.shape, dtype))
-            qr = codes_from_residuals_into(
-                delta, self.radius, shifted=other, mask=mask, work_mask=work_mask, codes=codes
-            )
+        codes, outliers, flat = self._kernels.quantize_encode(
+            x, eb, self.radius, ndim, self._scratch, stack
+        )
+        qr = QuantizedResiduals(
+            codes=codes, outliers=outliers, radius=self.radius, shape=x.shape
+        )
         return qr, flat
 
     def _resolve_codebook(
@@ -449,7 +472,9 @@ class SZCompressor:
                             outliers = escaped
                             if self.codebook_cache is not None and codebook is None:
                                 self.codebook_cache.note_escapes(n_escape)
-                    payload, total_bits, chunk_offsets = huffman_encode(qr.codes, out_codebook)
+                    payload, total_bits, chunk_offsets = huffman_encode(
+                        qr.codes, out_codebook, kernels=self._kernels
+                    )
                     if self.entropy == "huffman+zlib":
                         payload = zlib.compress(payload, self.zlib_level)
             elif self.entropy == "zlib":
@@ -517,21 +542,28 @@ class SZCompressor:
                 if ct.entropy == "huffman+zlib":
                     payload = zlib.decompress(payload)
                 codes = huffman_decode(
-                    payload, ct.total_bits, ct.count, ct.codebook, chunk_offsets=ct.chunk_offsets
+                    payload,
+                    ct.total_bits,
+                    ct.count,
+                    ct.codebook,
+                    chunk_offsets=ct.chunk_offsets,
+                    kernels=self._kernels,
                 )
             elif ct.entropy == "zlib":
                 codes = np.frombuffer(zlib.decompress(ct.payload), dtype=ct.raw_codes_dtype)
             else:
                 codes = np.frombuffer(ct.payload, dtype=ct.raw_codes_dtype)
 
-            qr = QuantizedResiduals(
-                codes=codes.astype(np.uint32),
-                outliers=ct.outliers.astype(np.int64),
-                radius=ct.radius,
-                shape=ct.shape,
+            # The back half is one backend kernel (``quantize_decode``:
+            # outlier re-injection + per-axis cumulative sums, fused on
+            # compiled backends).
+            q = self._kernels.quantize_decode(
+                codes.astype(np.uint32),
+                ct.outliers.astype(np.int64),
+                ct.radius,
+                ct.shape,
+                ct.lorenzo_ndim,
             )
-            delta = residuals_from_codes(qr)
-            q = lorenzo_decode(delta, ct.lorenzo_ndim)
             x = reconstruct(q, ct.error_bound, dtype=np.dtype(ct.dtype))
         if self.emulate_zero_drift:
             zeros = q == 0

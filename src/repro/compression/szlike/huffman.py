@@ -50,6 +50,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels import get_backend
+from repro.kernels.numpy_backend import ENCODE_BLOCK as ENCODE_BLOCK  # noqa: F401 (re-export)
+
 __all__ = [
     "MAX_CODE_LENGTH",
     "HuffmanCodebook",
@@ -204,11 +207,9 @@ def build_codebook(symbols: np.ndarray, alphabet_size: int) -> HuffmanCodebook:
 
 DEFAULT_CHUNK = 4096
 
-#: symbols per encode block (a multiple of DEFAULT_CHUNK so chunk-offset
-#: sampling never straddles a block boundary); bounds the encoder's
-#: per-block temporaries (~50 bytes/symbol of int64 staging) regardless
-#: of tensor size
-ENCODE_BLOCK = 1 << 14
+# ENCODE_BLOCK (symbols per encode block, a multiple of DEFAULT_CHUNK)
+# now lives in repro.kernels.numpy_backend with the packing loop; it is
+# re-exported above for compatibility.
 
 
 def _encode_bitplane(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: int):
@@ -237,79 +238,18 @@ def _encode_bitplane(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size:
     return np.packbits(bits).tobytes(), total_bits, chunk_offsets
 
 
-def _encode_words(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: int):
+def _encode_words(symbols: np.ndarray, codebook: HuffmanCodebook, chunk_size: int, kernels=None):
     """Word-packed blocked encoder (the low-allocation hot path).
 
-    Every codeword is <= :data:`MAX_CODE_LENGTH` = 16 bits, so it spans
-    at most two adjacent big-endian 16-bit output words.  Per block:
-    shift each codeword into a 32-bit window at its absolute bit
-    position, split into (high word, low word) halves, and merge all
-    contributions per word with ``bincount`` — codewords occupy disjoint
-    bits, so integer addition *is* bitwise OR (and the float64 weight
-    sums stay exact: each word's total is < 2^16).
-
-    Two passes over the symbol stream (a cheap per-block length sum
-    sizes the output exactly), O(block) temporaries, and one
-    output-sized uint16 word array: peak scratch is ~1x the packed
-    payload plus a constant, versus the bit-plane encoder's 8x.
+    The packing loop is a backend kernel (``huffman_pack_words``): the
+    NumPy reference shifts each <= 16-bit codeword into a 32-bit window
+    at its absolute bit position and merges per-word contributions with
+    ``bincount`` (disjoint bits make integer addition equal bitwise OR);
+    the compiled backend streams branch-per-symbol through a small
+    accumulator.  Both produce identical big-endian bytes.
     """
-    lengths = codebook.lengths
-    codes64 = codebook.codes.astype(np.int64)
-    n = symbols.size
-    block = ENCODE_BLOCK if not chunk_size else max(
-        chunk_size, (ENCODE_BLOCK // chunk_size) * chunk_size
-    )
-
-    # Pass 1: per-block bit totals -> exact output size, no O(n) scratch.
-    total_bits = 0
-    for a in range(0, n, block):
-        lens = lengths[symbols[a : a + block]]
-        if not lens.all():
-            sl = symbols[a : a + block]
-            bad = int(sl[lens == 0][0])
-            raise ValueError(f"symbol {bad} has no codeword in this codebook")
-        total_bits += int(lens.sum(dtype=np.int64))
-
-    n_words = (total_bits + 15) >> 4
-    # The word array doubles as the output byte buffer: a uint8 array
-    # viewed as big-endian uint16 for the merge writes, sliced to the
-    # exact payload length at the end — no byteswap copy, no trim copy.
-    out8 = np.zeros(2 * (n_words + 1), dtype=np.uint8)  # +1 word: lo spill
-    words = out8.view(">u2")
-    chunk_parts = []
-    base_bits = 0
-    for a in range(0, n, block):
-        s = symbols[a : a + block]
-        lens = lengths[s].astype(np.int64)
-        off = np.empty(s.size, dtype=np.int64)
-        off[0] = base_bits
-        np.cumsum(lens[:-1], out=off[1:])
-        off[1:] += base_bits
-        block_bits = int(off[-1] - base_bits + lens[-1])
-        if chunk_size:
-            # block is a multiple of chunk_size, so every chunk start
-            # falls on a block-local index multiple of chunk_size
-            chunk_parts.append(off[::chunk_size].copy())
-        w = off >> 4
-        w0 = int(w[0])
-        # 32-bit window: bit r = off & 15 within word w, so the codeword
-        # sits at shift (32 - r - len); top half lands in word w, bottom
-        # half in word w + 1.
-        val32 = codes64[s] << (32 - (off & 15) - lens)
-        w -= w0
-        n_local = int(w[-1]) + 2
-        acc = np.bincount(w, weights=val32 >> 16, minlength=n_local)
-        lo = np.bincount(w, weights=val32 & 0xFFFF, minlength=n_local)
-        acc[1:] += lo[:-1]
-        words[w0 : w0 + n_local] |= acc.astype(">u2")
-        base_bits += block_bits
-
-    payload = out8[: (total_bits + 7) >> 3].tobytes()
-    if chunk_parts:
-        chunk_offsets = np.concatenate(chunk_parts) if len(chunk_parts) > 1 else chunk_parts[0]
-    else:
-        chunk_offsets = np.zeros(0, dtype=np.int64)
-    return payload, total_bits, chunk_offsets
+    kernels = kernels if kernels is not None else get_backend("numpy")
+    return kernels.huffman_pack_words(symbols, codebook.lengths, codebook.codes, chunk_size)
 
 
 def huffman_encode(
@@ -317,6 +257,7 @@ def huffman_encode(
     codebook: HuffmanCodebook,
     chunk_size: int = DEFAULT_CHUNK,
     packer: str = "words",
+    kernels=None,
 ):
     """Encode *symbols* -> ``(payload bytes, total_bits, chunk_offsets)``.
 
@@ -325,13 +266,15 @@ def huffman_encode(
     to skip it.  ``packer`` selects the kernel: ``"words"`` (default,
     blocked word-packing with O(block) scratch) or ``"bitplane"`` (the
     legacy 8x-payload bit-expansion, kept as the reference oracle).
-    Both produce identical bytes.
+    Both produce identical bytes.  *kernels* is a
+    :class:`~repro.kernels.backends.KernelBackend` for the ``"words"``
+    inner loop (default: the NumPy reference).
     """
     symbols = symbols.reshape(-1)
     if symbols.size == 0:
         return b"", 0, np.zeros(0, dtype=np.int64)
     if packer == "words":
-        return _encode_words(symbols, codebook, chunk_size)
+        return _encode_words(symbols, codebook, chunk_size, kernels)
     if packer == "bitplane":
         return _encode_bitplane(symbols, codebook, chunk_size)
     raise ValueError(f"packer must be 'words' or 'bitplane', got {packer!r}")
@@ -366,15 +309,18 @@ def _decode_chunked(
     codebook: HuffmanCodebook,
     chunk_offsets: np.ndarray,
     chunk_size: int,
+    kernels=None,
 ) -> np.ndarray:
     """Data-parallel chunked decode reading L-bit windows in place.
 
-    All chunks advance one symbol per vectorized step; the current
-    codeword's window is gathered directly from the packed payload
-    (three bytes cover any 16-bit codeword at any bit phase), so the
-    only allocations are the padded payload copy, the output array, and
-    O(#chunks) per-step temporaries — no 8x bit expansion, no 32x
-    per-offset prefix array.
+    Metadata validation and the dense-table build live here (identical
+    errors on every backend); the window-gather loop is a backend
+    kernel (``huffman_unpack_window``).  The NumPy reference advances
+    all chunks one symbol per vectorized step, gathering each codeword's
+    window directly from the packed payload (three bytes cover any
+    16-bit codeword at any bit phase) — no 8x bit expansion, no 32x
+    per-offset prefix array; the compiled backend walks each chunk
+    sequentially.
     """
     L = codebook.max_length
     if L == 0:
@@ -385,27 +331,13 @@ def _decode_chunked(
     n_chunks = chunk_offsets.size
     if n_chunks != -(-count // chunk_size):
         raise ValueError("chunk metadata inconsistent with symbol count")
-    # 4 guard bytes: a clamped position may gather up to 3 bytes past the
-    # last payload bit's byte.
-    buf = np.frombuffer(payload + b"\x00\x00\x00\x00", dtype=np.uint8)
-    out = np.empty(n_chunks * chunk_size, dtype=np.uint32)
-    pos = chunk_offsets.astype(np.int64).copy()
+    pos = chunk_offsets.astype(np.int64)
     if pos.size and (int(pos.min()) < 0 or int(pos.max()) >= max(total_bits, 1)):
         raise ValueError("chunk offsets out of range")
-    slot = np.arange(n_chunks, dtype=np.int64) * chunk_size
-    mask = (1 << L) - 1
-    for i in range(chunk_size):
-        byte = pos >> 3
-        window = (
-            (buf[byte].astype(np.int64) << 16)
-            | (buf[byte + 1].astype(np.int64) << 8)
-            | buf[byte + 2]
-        )
-        p = (window >> (24 - (pos & 7) - L)) & mask
-        out[slot + i] = tsym[p]
-        pos += tlen[p]
-        np.minimum(pos, total_bits, out=pos)
-    return out[:count]
+    kernels = kernels if kernels is not None else get_backend("numpy")
+    return kernels.huffman_unpack_window(
+        payload, total_bits, count, tsym, tlen, L, pos, chunk_size
+    )
 
 
 def huffman_decode(
@@ -415,19 +347,23 @@ def huffman_decode(
     codebook: HuffmanCodebook,
     chunk_offsets: np.ndarray = None,
     chunk_size: int = DEFAULT_CHUNK,
+    kernels=None,
 ) -> np.ndarray:
     """Decode *count* symbols from *payload*.
 
     With ``chunk_offsets`` the chunked data-parallel decoder runs (all
     chunks advance one symbol per vectorized step, windows gathered
     straight from the packed bytes); without it the pointer-jumping
-    decoder reconstructs the codeword chain from scratch.
+    decoder reconstructs the codeword chain from scratch.  *kernels*
+    selects the chunked inner loop's backend (default: NumPy reference).
     """
     if count == 0:
         return np.zeros(0, dtype=np.uint32)
 
     if chunk_offsets is not None and chunk_offsets.size:
-        return _decode_chunked(payload, total_bits, count, codebook, chunk_offsets, chunk_size)
+        return _decode_chunked(
+            payload, total_bits, count, codebook, chunk_offsets, chunk_size, kernels
+        )
 
     prefix, tsym, tlen = _prefix_and_tables(payload, total_bits, codebook)
 

@@ -17,32 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.numpy_backend import (
+    cumsum_axes,
+    diff_axes,
+    diff_axes_alloc,
+    validate_lorenzo as _validate,
+)
+
 __all__ = ["lorenzo_encode", "lorenzo_decode"]
-
-
-def _validate(arr: np.ndarray, ndim: int) -> int:
-    if ndim < 1 or ndim > 3:
-        raise ValueError(f"Lorenzo prediction supports 1-3 dims, got {ndim}")
-    if arr.ndim < ndim:
-        raise ValueError(
-            f"array with {arr.ndim} axes cannot be Lorenzo-predicted over {ndim} axes"
-        )
-    if not np.issubdtype(arr.dtype, np.integer):
-        raise TypeError("Lorenzo transform requires integer (pre-quantized) input")
-    return ndim
-
-
-def _diff_into(src: np.ndarray, axis: int, dst: np.ndarray) -> None:
-    """Finite difference along *axis* from *src* into *dst* (boundary
-    element copied).  *dst* must not alias *src*."""
-    hi = [slice(None)] * src.ndim
-    lo = [slice(None)] * src.ndim
-    first = [slice(None)] * src.ndim
-    hi[axis] = slice(1, None)
-    lo[axis] = slice(None, -1)
-    first[axis] = slice(0, 1)
-    np.subtract(src[tuple(hi)], src[tuple(lo)], out=dst[tuple(hi)])
-    dst[tuple(first)] = src[tuple(first)]
 
 
 def lorenzo_encode(
@@ -62,23 +44,13 @@ def lorenzo_encode(
     """
     _validate(q, ndim)
     if out is None:
-        res = q
-        for axis in range(q.ndim - ndim, q.ndim):
-            res = np.diff(res, axis=axis, prepend=np.zeros_like(res.take([0], axis=axis)))
-        return res
+        return diff_axes_alloc(q, ndim)
     if ndim >= 2 and work is None:
         raise ValueError("lorenzo_encode with out= needs a work buffer for ndim >= 2")
-    src, dst = q, out
-    for axis in range(q.ndim - ndim, q.ndim):
-        _diff_into(src, axis, dst)
-        src, dst = dst, (work if dst is out else out)
-    return src
+    return diff_axes(q, ndim, out=out, work=work)
 
 
 def lorenzo_decode(delta: np.ndarray, ndim: int = 2) -> np.ndarray:
     """Invert :func:`lorenzo_encode` (cumulative sums along each axis)."""
     _validate(delta, ndim)
-    out = delta
-    for axis in range(delta.ndim - ndim, delta.ndim):
-        out = np.cumsum(out, axis=axis, dtype=delta.dtype)
-    return out
+    return cumsum_axes(delta, ndim)

@@ -20,6 +20,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.numpy_backend import (
+    apply_outliers,
+    bounded_codes_into,
+    prequantize_grid_into,
+)
+
 __all__ = [
     "prequantize",
     "prequantize_into",
@@ -49,15 +55,9 @@ def prequantize_into(x: np.ndarray, error_bound: float, out: np.ndarray, work: n
     :class:`~repro.utils.scratch.ScratchPool` — so the steady-state
     compress path allocates nothing here.
     """
-    if error_bound <= 0:
-        raise ValueError(f"error bound must be positive, got {error_bound}")
-    # dtype=float64 forces the division loop into double precision even
-    # for float32 input — the same arithmetic prequantize's float64
-    # upcast performs, so the two paths quantize bit-identically.
-    np.divide(x, 2.0 * error_bound, out=work, dtype=np.float64)
-    np.rint(work, out=work)
-    np.copyto(out, work, casting="unsafe")  # values are integral floats
-    return out
+    # The loop body lives in the kernels layer (the reference backend's
+    # building block); this wrapper keeps the historical public API.
+    return prequantize_grid_into(x, error_bound, out, work)
 
 
 def reconstruct(q: np.ndarray, error_bound: float, dtype=np.float32) -> np.ndarray:
@@ -133,29 +133,12 @@ def codes_from_residuals_into(
     outlier array is freshly allocated.  Semantics are identical to
     :func:`codes_from_residuals`.
     """
-    if radius < 2:
-        raise ValueError(f"radius must be >= 2, got {radius}")
-    flat = delta.reshape(-1)
-    np.add(flat, radius, out=shifted)
-    np.greater(shifted, 0, out=mask)
-    np.less(shifted, 2 * radius, out=work_mask)
-    np.logical_and(mask, work_mask, out=mask)
-    codes[...] = 0
-    np.copyto(codes, shifted, where=mask, casting="unsafe")
-    np.logical_not(mask, out=work_mask)
-    outliers = flat[work_mask].astype(np.int64)
+    codes, outliers = bounded_codes_into(
+        delta, radius, shifted=shifted, mask=mask, work_mask=work_mask, codes=codes
+    )
     return QuantizedResiduals(codes=codes, outliers=outliers, radius=radius, shape=delta.shape)
 
 
 def residuals_from_codes(qr: QuantizedResiduals) -> np.ndarray:
     """Invert :func:`codes_from_residuals` back to int64 residuals."""
-    delta = qr.codes.astype(np.int64) - qr.radius
-    mask = qr.codes == 0
-    n_out = int(mask.sum())
-    if n_out != qr.outliers.size:
-        raise ValueError(
-            f"outlier bookkeeping mismatch: {n_out} markers vs {qr.outliers.size} stored values"
-        )
-    if n_out:
-        delta[mask] = qr.outliers
-    return delta.reshape(qr.shape)
+    return apply_outliers(qr.codes, qr.outliers, qr.radius).reshape(qr.shape)

@@ -1,0 +1,28 @@
+"""Pluggable kernel backends for the SZ pipeline's hot inner loops.
+
+``get_backend("numpy" | "numba" | "auto")`` returns a
+:class:`~repro.kernels.backends.KernelBackend` exposing the five hot
+kernels (quantize_encode / quantize_decode / lorenzo_predict /
+huffman_pack_words / huffman_unpack_window).  The NumPy reference
+implementation always resolves; ``"numba"`` compiles the fused loops
+with ``@njit(cache=True)`` when numba is installed; ``"auto"`` probes
+once, warms up off the profiled path, and degrades to numpy (counted,
+never raised).  This package sits *below* the codec layer: it imports
+numpy and ``repro.utils`` only.
+"""
+
+from repro.kernels.backends import (
+    KERNEL_BACKENDS,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    kernel_stats,
+)
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "kernel_stats",
+]

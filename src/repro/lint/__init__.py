@@ -26,6 +26,10 @@ DET001    determinism             No wall-clock, global-RNG, or set-ordered
 REG001    registry-hygiene        Codecs outside ``compression/`` are built
                                   only via ``get_codec``/``spec_of``
                                   (see :mod:`.rules_registry`).
+BKD001    backend-discipline      ``compression/szlike/`` reaches the hot
+                                  kernels via ``get_backend(...)``, never the
+                                  private ``_numpy_*`` implementations
+                                  (see :mod:`.rules_backend`).
 LINT000   parse-error             The file failed to parse at all.
 ========  ======================  ==============================================
 """

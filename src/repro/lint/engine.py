@@ -268,6 +268,7 @@ def load_module(path: str) -> Tuple[Optional[LintModule], Optional[Violation]]:
 
 
 def default_rules() -> List[Rule]:
+    from repro.lint.rules_backend import BackendDisciplineRule
     from repro.lint.rules_bounds import ErrorBoundExactnessRule
     from repro.lint.rules_determinism import DeterminismRule
     from repro.lint.rules_lifecycle import ResourceLifecycleRule
@@ -280,6 +281,7 @@ def default_rules() -> List[Rule]:
         ErrorBoundExactnessRule(),
         DeterminismRule(),
         RegistryHygieneRule(),
+        BackendDisciplineRule(),
     ]
 
 

@@ -10,7 +10,11 @@ allocator/page-fault traffic for every activation on every iteration.
   pooled flat buffer.  Buffers are keyed by dtype and matched by
   capacity (best fit), so one pooled buffer serves *every* layer shape
   of that dtype — the pool's footprint is bounded by the largest tensor,
-  not the number of distinct shapes.
+  not the number of distinct shapes.  When a dtype bucket has nothing
+  big enough, an oversized buffer of *another* dtype is served as a
+  byte-capacity view instead of allocating fresh (the compiled kernel
+  backends request different shapes/dtypes than the NumPy reference,
+  which used to defeat the pool on every backend switch).
 * The context-manager form returns the buffer on exit; concurrent takes
   (the :class:`~repro.compression.registry.ChunkedCodec` thread workers
   share one inner compressor) are safe — each take pops a distinct
@@ -54,12 +58,21 @@ class ScratchPool:
         # -- statistics ----------------------------------------------------
         self.hits = 0
         self.misses = 0
+        self.cross_dtype_hits = 0
         self.free_bytes = 0
         from repro.core.sanitizer import maybe_instrument
 
         maybe_instrument(self, "scratch")
 
     def _borrow(self, size: int, dtype: np.dtype) -> np.ndarray:
+        """Pop a free buffer with capacity for ``size`` ``dtype`` elements.
+
+        The returned buffer keeps its *own* dtype — it may come from
+        another dtype's bucket when that bucket holds the only adequate
+        byte capacity; :meth:`take` reinterprets the bytes and
+        :meth:`_give` files it back under its original dtype.
+        """
+        nbytes = size * dtype.itemsize
         with self._lock:
             bucket = self._free.get(dtype)
             if bucket:
@@ -73,6 +86,24 @@ class ScratchPool:
                     self.free_bytes -= buf.nbytes
                     self.hits += 1
                     return buf
+            # Cross-dtype rescue: smallest free buffer of any other dtype
+            # with enough *byte* capacity, rather than allocating fresh.
+            best_pick = None
+            for key, other in self._free.items():
+                if key == dtype:
+                    continue
+                for i, buf in enumerate(other):
+                    if buf.nbytes >= nbytes and (
+                        best_pick is None or buf.nbytes < best_pick[2].nbytes
+                    ):
+                        best_pick = (key, i, buf)
+            if best_pick is not None:
+                key, i, raw = best_pick
+                self._free[key].pop(i)
+                self.free_bytes -= raw.nbytes
+                self.hits += 1
+                self.cross_dtype_hits += 1
+                return raw
             self.misses += 1
         return np.empty(size, dtype=dtype)
 
@@ -97,7 +128,12 @@ class ScratchPool:
         size = int(np.prod(shape)) if shape else 1
         buf = self._borrow(size, dtype)
         try:
-            yield buf[:size].reshape(shape)
+            if buf.dtype == dtype:
+                yield buf[:size].reshape(shape)
+            else:
+                # Cross-dtype buffer: reinterpret the leading bytes.
+                view = buf.view(np.uint8)[: size * dtype.itemsize].view(dtype)
+                yield view.reshape(shape)
         finally:
             self._give(buf)
 

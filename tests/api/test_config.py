@@ -122,9 +122,51 @@ class TestValidation:
         with pytest.raises(ConfigError, match="does not exist"):
             SessionConfig.from_json("/nonexistent/run.json")
 
+    def test_bad_engine_kernel_backend(self):
+        with pytest.raises(ConfigError, match="engine: kernel_backend must be one of"):
+            EngineSpec(kernel_backend="cuda").validate()
+
+    def test_bad_rule_kernel_backend(self):
+        with pytest.raises(ConfigError, match="kernel_backend must be one of"):
+            PolicyRule(match="l0", kernel_backend="cuda").validate()
+
     def test_invalid_json_text(self):
         with pytest.raises(ConfigError, match="invalid JSON"):
             SessionConfig.from_json("{not json]")
+
+
+class TestKernelBackendSpec:
+    def test_engine_default_stays_sparse(self):
+        assert "kernel_backend" not in EngineSpec().to_dict()
+
+    def test_engine_explicit_backend_round_trips(self):
+        cfg = SessionConfig(engine=EngineSpec(kernel_backend="numpy"))
+        d = cfg.to_dict()
+        assert d["engine"]["kernel_backend"] == "numpy"
+        assert SessionConfig.from_dict(d).engine.kernel_backend == "numpy"
+
+    def test_rule_backend_round_trips(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", kernel_backend="numpy", label="a")]
+        )
+        d = cfg.to_dict()
+        assert d["rules"][0]["kernel_backend"] == "numpy"
+        assert SessionConfig.from_dict(d).rules[0].kernel_backend == "numpy"
+
+    def test_numba_round_trips_on_numba_less_hosts(self):
+        """Validation is membership-only: a config written on a numba
+        host parses everywhere — availability is a *build*-time check."""
+        cfg = SessionConfig.from_dict({"engine": {"kernel_backend": "numba"}})
+        assert cfg.engine.kernel_backend == "numba"
+
+    def test_codec_level_backend_in_spec_of(self):
+        codec = get_codec("szlike", kernel_backend="numpy")
+        spec = spec_of(codec)
+        assert spec["options"]["kernel_backend"] == "numpy"
+        clone = get_codec(spec["name"], **spec["options"])
+        assert clone.kernel_backend == "numpy"
+        # the default ("auto") stays sparse
+        assert "kernel_backend" not in spec_of(get_codec("szlike"))["options"]
 
 
 class TestCodecSpecOf:

@@ -22,6 +22,7 @@ import pytest
 from repro.api import (
     AdaptiveSpec,
     CodecSpec,
+    ConfigError,
     EngineSpec,
     OptimizerSpec,
     PolicyRule,
@@ -472,3 +473,59 @@ class TestConfigRoundTripSurface:
         with build_session(make_net(), captured) as s:
             losses_b = run(s)
         np.testing.assert_array_equal(losses_a, losses_b)
+
+
+class TestKernelBackendWiring:
+    def test_engine_backend_applies_to_session_codec(self):
+        cfg = SessionConfig(
+            engine=EngineSpec(kernel_backend="numpy"),
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            stats = s.kernel_stats
+            assert stats["selected_backend"] == "numpy"
+            for key in ("numba_probed", "auto_fallbacks", "runtime_fallbacks"):
+                assert key in stats
+
+    def test_rule_backend_override_clones_session_codec(self):
+        cfg = SessionConfig(
+            rules=[PolicyRule(match="l0", kernel_backend="numpy", label="pinned")],
+            adaptive=AdaptiveSpec(W=10, warmup_iterations=2),
+        )
+        with build_session(make_net(), cfg) as s:
+            table = s.policy_table
+            pol = table.rules[0]
+            # the override got its own clone of the session codec ...
+            assert pol.codec is not None
+            session_codec = s.compressed.ctx.compressor
+            assert pol.codec is not session_codec
+            assert pol.codec.kernel_backend_selected == "numpy"
+            run(s, iters=2)
+
+    def test_explicit_numba_unavailable_fails_at_build(self):
+        from repro.kernels import available_backends
+
+        if "numba" in available_backends():
+            pytest.skip("numba installed: explicit selection succeeds here")
+        cfg = SessionConfig(engine=EngineSpec(kernel_backend="numba"))
+        with pytest.raises(ConfigError, match="unavailable"):
+            build_session(make_net(), cfg)
+
+    def test_auto_fallback_counter_visible_in_session_stats(self, monkeypatch):
+        import sys
+
+        from repro.kernels.backends import _reset_probe_for_tests
+
+        _reset_probe_for_tests()
+        try:
+            monkeypatch.setitem(sys.modules, "numba", None)  # poison the probe
+            cfg = SessionConfig(adaptive=AdaptiveSpec(W=10, warmup_iterations=2))
+            with build_session(make_net(), cfg) as s:
+                losses = run(s, iters=2)
+                assert len(losses) == 2  # degraded silently, training works
+                stats = s.kernel_stats
+                assert stats["selected_backend"] == "numpy"
+                assert stats["numba_available"] is False
+                assert stats["auto_fallbacks"] >= 1
+        finally:
+            _reset_probe_for_tests()

@@ -17,6 +17,7 @@ from repro.compression import (
     register_codec,
 )
 from repro.compression.registry import dumps, loads, wire_header_nbytes
+from repro.kernels import available_backends
 
 #: constructor kwargs for codecs that want non-defaults in the suite
 CODEC_SPECS = {
@@ -26,11 +27,20 @@ CODEC_SPECS = {
 
 #: every registered leaf codec (the chunked wrapper has its own class
 #: below); a newly registered codec is pulled into the contract suite
-#: automatically
-LEAF_CODECS = sorted(n for n in available_codecs() if n != "chunked")
+#: automatically.  szlike additionally runs once per available kernel
+#: backend (``szlike[numpy]``, and ``szlike[numba]`` where installed) so
+#: every backend satisfies the full contract, not just a roundtrip.
+LEAF_CODECS = sorted(n for n in available_codecs() if n != "chunked") + [
+    f"szlike[{b}]" for b in available_backends()
+]
 
 
 def make(name):
+    if name.startswith("szlike["):
+        backend = name[len("szlike[") : -1]
+        return get_codec(
+            "szlike", kernel_backend=backend, **CODEC_SPECS.get("szlike", {})
+        )
     return get_codec(name, **CODEC_SPECS.get(name, {}))
 
 
@@ -65,7 +75,7 @@ class TestCodecContract:
 
     def test_metadata(self, name):
         codec = make(name)
-        assert codec.name == name
+        assert codec.name == name.split("[")[0]
         assert isinstance(codec.error_bounded, bool)
         assert isinstance(codec.lossless, bool)
 

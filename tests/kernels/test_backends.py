@@ -1,0 +1,254 @@
+"""Kernel backend registry: selection semantics, degradation discipline,
+and bit-identity of the compiled-loop algorithms against the reference.
+
+The numba loops are testable without numba: ``python_loops()`` returns
+the same algorithms uncompiled, so every environment pins the
+bit-identity contract; the CI numba leg re-runs the codec contract
+suite over the *compiled* loops.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import ExitStack
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    KERNEL_BACKENDS,
+    available_backends,
+    get_backend,
+    kernel_stats,
+)
+from repro.kernels.backends import (
+    KernelBackend,
+    _reset_probe_for_tests,
+    warmup_backend,
+)
+from repro.kernels import numba_backend, numpy_backend
+from repro.utils.scratch import ScratchPool
+
+
+@pytest.fixture
+def fresh_probe():
+    """Forget the process-wide probe result around a test (and after,
+    so later tests re-probe cleanly)."""
+    _reset_probe_for_tests()
+    yield
+    _reset_probe_for_tests()
+
+
+def python_backend(fallbacks=None, loops=None):
+    """The numba algorithms, uncompiled, as a KernelBackend."""
+    sink = fallbacks.append if fallbacks is not None else (lambda name: None)
+    fns = numba_backend.make_kernel_functions(
+        loops or numba_backend.python_loops(), sink
+    )
+    return KernelBackend(name="python-loops", **fns)
+
+
+def encode_with(backend, x, eb=1e-3, radius=512, ndim=2):
+    pool = ScratchPool()
+    with ExitStack() as stack:
+        codes, outliers, flat = backend.quantize_encode(x, eb, radius, ndim, pool, stack)
+        return codes.copy(), outliers.copy(), flat.copy()
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        b = get_backend("numpy")
+        assert b.name == "numpy"
+        assert get_backend("numpy") is b  # singleton reference backend
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            get_backend("cuda")
+        assert set(KERNEL_BACKENDS) == {"numpy", "numba", "auto"}
+
+    def test_explicit_numba_resolves_or_raises(self):
+        if "numba" in available_backends():
+            assert get_backend("numba").name == "numba"
+        else:
+            with pytest.raises(ValueError, match="unavailable"):
+                get_backend("numba")
+
+    def test_auto_matches_availability(self):
+        expected = "numba" if "numba" in available_backends() else "numpy"
+        assert get_backend("auto").name == expected
+
+    def test_auto_degrades_counted_when_numba_import_poisoned(
+        self, fresh_probe, monkeypatch
+    ):
+        # None in sys.modules makes ``import numba`` raise ImportError —
+        # the closest stand-in for a broken install.
+        monkeypatch.setitem(sys.modules, "numba", None)
+        b = get_backend("auto")
+        assert b.name == "numpy"
+        stats = kernel_stats()
+        assert stats["numba_probed"] is True
+        assert stats["numba_available"] is False
+        assert "numba" in stats["probe_error"]
+        assert stats["auto_fallbacks"] == 1
+        assert stats["auto_selects"] == "numpy"
+        # explicit numba surfaces the same probe error instead of degrading
+        with pytest.raises(ValueError, match="unavailable"):
+            get_backend("numba")
+
+    def test_warmup_passes_for_python_loops(self, fresh_probe):
+        warmup_backend(python_backend())  # raises on any bit mismatch
+        assert kernel_stats()["warmups"] == 1
+
+    def test_warmup_rejects_miscompiled_kernel(self, fresh_probe):
+        loops = numba_backend.python_loops()
+        good = loops["quantize_grid"]
+
+        def off_by_one(x, denom, out):
+            good(x, denom, out)
+            out[0] += 1
+
+        loops["quantize_grid"] = off_by_one
+        fallbacks = []
+        with pytest.raises(ValueError, match="warmup mismatch"):
+            warmup_backend(python_backend(fallbacks, loops))
+
+
+class TestBitIdentity:
+    """The uncompiled numba algorithms against the reference backend."""
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_quantize_encode_decode(self, ndim, dtype):
+        rng = np.random.default_rng(7 + ndim)
+        x = (rng.standard_normal((3, 4, 6, 5)) * 5).astype(dtype)
+        x.reshape(-1)[::5] = 0.0
+        ref, alt = get_backend("numpy"), python_backend()
+        # radius 8 forces genuine outliers through the escape channel
+        for radius in (8, 512):
+            c1, o1, f1 = encode_with(ref, x, radius=radius, ndim=ndim)
+            c2, o2, f2 = encode_with(alt, x, radius=radius, ndim=ndim)
+            np.testing.assert_array_equal(c1, c2)
+            np.testing.assert_array_equal(o1, o2)
+            np.testing.assert_array_equal(f1, f2)
+            q1 = ref.quantize_decode(c1, o1, radius, x.shape, ndim)
+            q2 = alt.quantize_decode(c2, o2, radius, x.shape, ndim)
+            np.testing.assert_array_equal(q1, q2)
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_lorenzo_predict(self, ndim):
+        rng = np.random.default_rng(11)
+        q = rng.integers(-1000, 1000, size=(2, 3, 7, 4), dtype=np.int64)
+        ref, alt = get_backend("numpy"), python_backend()
+        np.testing.assert_array_equal(
+            ref.lorenzo_predict(q, ndim), alt.lorenzo_predict(q, ndim)
+        )
+
+    @pytest.mark.parametrize("chunk_size", [7, 16, 1000])
+    def test_huffman_pack_unpack(self, chunk_size):
+        # a mixed-length canonical-style book: symbol i gets 4 or 8 bits
+        rng = np.random.default_rng(13)
+        n_sym = 16
+        lengths = np.where(np.arange(n_sym) < 8, 4, 8).astype(np.uint8)
+        # canonical codeword assignment: shorter codes first
+        codes = np.zeros(n_sym, dtype=np.uint32)
+        next_code, prev_len = 0, 0
+        for s in np.argsort(lengths, kind="stable"):
+            next_code <<= int(lengths[s]) - prev_len
+            prev_len = int(lengths[s])
+            codes[s] = next_code
+            next_code += 1
+        symbols = rng.integers(0, n_sym, size=333).astype(np.uint16)
+        ref, alt = get_backend("numpy"), python_backend()
+        p1, t1, off1 = ref.huffman_pack_words(symbols, lengths, codes, chunk_size)
+        p2, t2, off2 = alt.huffman_pack_words(symbols, lengths, codes, chunk_size)
+        assert (p1, t1) == (p2, t2)
+        np.testing.assert_array_equal(off1, off2)
+        # dense decode tables for the max length
+        L = int(lengths.max())
+        tsym = np.zeros(1 << L, dtype=np.uint32)
+        tlen = np.zeros(1 << L, dtype=np.int64)
+        for s in range(n_sym):
+            l = int(lengths[s])
+            base = int(codes[s]) << (L - l)
+            tsym[base : base + (1 << (L - l))] = s
+            tlen[base : base + (1 << (L - l))] = l
+        s1 = ref.huffman_unpack_window(p1, t1, symbols.size, tsym, tlen, L, off1, chunk_size)
+        s2 = alt.huffman_unpack_window(p2, t2, symbols.size, tsym, tlen, L, off2, chunk_size)
+        np.testing.assert_array_equal(s1, symbols.astype(np.uint32))
+        np.testing.assert_array_equal(s2, symbols.astype(np.uint32))
+
+
+class TestDegradation:
+    def test_contract_errors_raise_identically_without_fallback(self):
+        fallbacks = []
+        alt = python_backend(fallbacks)
+        ref = get_backend("numpy")
+        # a marker with no stored outlier: bookkeeping mismatch on both
+        codes = np.array([0, 5, 6], dtype=np.uint32)
+        empty = np.empty(0, dtype=np.int64)
+        for b in (ref, alt):
+            with pytest.raises(ValueError, match="outlier bookkeeping mismatch"):
+                b.quantize_decode(codes, empty, 4, (3,), 1)
+        # a symbol without a codeword: same contract error on both
+        lengths = np.zeros(8, dtype=np.uint8)
+        lengths[1] = 2
+        cw = np.zeros(8, dtype=np.uint32)
+        sym = np.array([1, 3], dtype=np.uint16)
+        for b in (ref, alt):
+            with pytest.raises(ValueError, match="symbol 3 has no codeword"):
+                b.huffman_pack_words(sym, lengths, cw, 16)
+        assert fallbacks == []  # contract errors never count as fallbacks
+
+    def test_runtime_error_falls_back_to_reference(self):
+        loops = numba_backend.python_loops()
+
+        def boom(x, denom, out):
+            raise RuntimeError("simulated miscompile")
+
+        loops["quantize_grid"] = boom
+        fallbacks = []
+        alt = python_backend(fallbacks, loops)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 4, 4)).astype(np.float32)
+        c_alt, o_alt, _ = encode_with(alt, x)
+        c_ref, o_ref, _ = encode_with(get_backend("numpy"), x)
+        np.testing.assert_array_equal(c_alt, c_ref)
+        np.testing.assert_array_equal(o_alt, o_ref)
+        assert fallbacks == ["quantize_encode"]
+
+
+class TestCompressorIntegration:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_szlike_roundtrip_per_backend(self, backend):
+        from repro.compression.registry import get_codec
+
+        codec = get_codec(
+            "szlike", error_bound=1e-3, entropy="huffman", kernel_backend=backend
+        )
+        assert codec.kernel_backend_selected == backend
+        rng = np.random.default_rng(5)
+        x = np.maximum(rng.standard_normal((2, 4, 12, 12)), 0).astype(np.float32)
+        y = codec.decompress(codec.compress(x))
+        assert np.abs(x.astype(np.float64) - y).max() <= 1e-3 * (1 + 1e-6)
+
+    def test_bad_backend_name_rejected_at_construction(self):
+        from repro.compression.registry import get_codec
+
+        with pytest.raises(ValueError, match="must be one of"):
+            get_codec("szlike", kernel_backend="cuda")
+
+    def test_pickled_codec_reresolves_backend(self):
+        import pickle
+
+        from repro.compression.registry import get_codec
+
+        codec = get_codec("szlike", kernel_backend="auto")
+        clone = pickle.loads(pickle.dumps(codec))
+        assert clone.kernel_backend == "auto"
+        assert clone.kernel_backend_selected in ("numpy", "numba")
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(
+            codec.decompress(codec.compress(x)), clone.decompress(clone.compress(x))
+        )

@@ -1,0 +1,11 @@
+"""Known-bad: szlike code reaching private kernel entry points."""
+
+from repro.kernels.numpy_backend import _numpy_quantize_decode
+
+
+def decode(codes, outliers, radius, shape, ndim):
+    return _numpy_quantize_decode(codes, outliers, radius, shape, ndim)
+
+
+def pack(module, symbols, lengths, codes, chunk_size):
+    return module._numpy_huffman_pack_words(symbols, lengths, codes, chunk_size)

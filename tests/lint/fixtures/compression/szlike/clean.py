@@ -1,0 +1,13 @@
+"""Clean: szlike code dispatching through the backend registry."""
+
+from repro.kernels import get_backend
+from repro.kernels.numpy_backend import diff_axes_alloc  # building block, exempt
+
+
+def decode(codes, outliers, radius, shape, ndim):
+    kernels = get_backend("auto")
+    return kernels.quantize_decode(codes, outliers, radius, shape, ndim)
+
+
+def residuals(q, ndim):
+    return diff_axes_alloc(q, ndim)

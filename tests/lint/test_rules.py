@@ -66,8 +66,20 @@ def test_reg001_flags_direct_codec_construction():
     assert "get_codec" in violations[0].message
 
 
+def test_bkd001_flags_private_kernel_references():
+    violations = lint_fixture(os.path.join("compression", "szlike", "bkd001_bad.py"))
+    assert ids_and_lines(violations) == [("BKD001", 3), ("BKD001", 7), ("BKD001", 11)]
+    assert "get_backend" in violations[0].message
+    assert "_numpy_quantize_decode" in violations[1].message
+    assert "_numpy_huffman_pack_words" in violations[2].message
+
+
 def test_clean_fixtures_have_no_violations():
-    violations = lint_fixture("clean.py", os.path.join("compression", "clean.py"))
+    violations = lint_fixture(
+        "clean.py",
+        os.path.join("compression", "clean.py"),
+        os.path.join("compression", "szlike", "clean.py"),
+    )
     assert violations == [], "\n".join(v.format() for v in violations)
 
 
@@ -94,5 +106,5 @@ def test_cli_json_output_and_exit_code():
 def test_cli_list_rules():
     proc = _run_cli("--list-rules")
     assert proc.returncode == 0
-    for rule_id in ("LCK001", "REL001", "EBD001", "DET001", "REG001"):
+    for rule_id in ("LCK001", "REL001", "EBD001", "DET001", "REG001", "BKD001"):
         assert rule_id in proc.stdout

@@ -88,6 +88,45 @@ class TestScratchPool:
         with ThreadPoolExecutor(max_workers=8) as ex:
             assert all(ex.map(work, range(64)))
 
+    def test_cross_dtype_view_from_oversized_buffer(self):
+        pool = ScratchPool()
+        with pool.take((64,), np.float64):  # 512 bytes cached as float64
+            pass
+        assert pool.misses == 1
+        # an int32 request fits in the cached float64 bytes: no fresh alloc
+        with pool.take((100,), np.int32) as a:
+            assert a.dtype == np.int32 and a.shape == (100,)
+            a[...] = -5
+            assert int(a.sum()) == -500
+        assert pool.misses == 1
+        assert pool.hits == 1
+        assert pool.cross_dtype_hits == 1
+        # the buffer went back to its original (float64) bucket
+        with pool.take((64,), np.float64):
+            pass
+        assert pool.hits == 2 and pool.misses == 1
+
+    def test_cross_dtype_picks_smallest_adequate_buffer(self):
+        pool = ScratchPool()
+        # concurrent takes allocate two distinct buffers
+        with pool.take((1024,), np.float64), pool.take((16,), np.float32):
+            pass
+        # 40 bytes fit in the 64-byte float32 buffer; the 8 KiB float64
+        # buffer must stay untouched for bigger requests
+        with pool.take((10,), np.int32) as a:
+            assert a.nbytes == 40
+        assert pool.cross_dtype_hits == 1
+        assert pool.free_bytes == 1024 * 8 + 16 * 4
+
+    def test_cross_dtype_insufficient_bytes_allocates_fresh(self):
+        pool = ScratchPool()
+        with pool.take((4,), np.int8):  # 4 cached bytes
+            pass
+        with pool.take((128,), np.float64) as a:
+            assert a.nbytes == 1024
+        assert pool.cross_dtype_hits == 0
+        assert pool.misses == 2
+
     def test_caps_bound_pool_footprint(self):
         pool = ScratchPool(max_per_dtype=2, max_total_bytes=1 << 20)
         for n in (100, 200, 300, 400):
