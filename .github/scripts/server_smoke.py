@@ -1,0 +1,105 @@
+"""CI smoke: drive a SessionServer through its HTTP endpoint.
+
+Two tenants (one compressed-training, one plain inference) are admitted
+over POST /tenants on an ephemeral port, stepped via
+POST /tenants/<name>/steps, inspected through GET /stats, and evicted —
+exercising admission, the shared pool, the scheduler, and the metrics
+surface exactly the way an operator would, with no Python-API shortcuts.
+"""
+
+import json
+import sys
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, "src")
+
+from repro.api.config import ServerSpec  # noqa: E402
+from repro.server import SessionServer, serve  # noqa: E402
+
+STEPS = 3
+
+
+def call(url, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def expect(cond, message):
+    if not cond:
+        raise SystemExit(f"server smoke FAILED: {message}")
+
+
+def main():
+    spec = ServerSpec(pool_budget_bytes=2 << 20, overcommit=2.0, workers=2, port=0)
+    with SessionServer(spec) as server, serve(server) as endpoint:
+        url = endpoint.url
+        print(f"endpoint: {url}")
+
+        code, body = call(url, "GET", "/healthz")
+        expect(code == 200 and body["status"] == "ok", f"healthz: {code} {body}")
+
+        tenants = [
+            {
+                "name": "train-a",
+                "model": "alexnet",
+                "image_size": 12,
+                "batch_size": 4,
+                "seed": 1,
+                "session": {
+                    "codec": {"options": {"codebook_cache": True}},
+                    "storage": {"activations": "arena", "budget_bytes": 2 << 20},
+                },
+            },
+            {
+                "name": "infer-b",
+                "kind": "infer",
+                "model": "alexnet",
+                "image_size": 12,
+                "batch_size": 8,
+                "seed": 2,
+                "session": {"compress_activations": False},
+            },
+        ]
+        for t in tenants:
+            code, body = call(url, "POST", "/tenants", t)
+            expect(
+                code == 201 and body["state"] == "running",
+                f"admit {t['name']}: {code} {body}",
+            )
+            print(f"admitted {t['name']}")
+
+        for t in tenants:
+            code, body = call(url, "POST", f"/tenants/{t['name']}/steps", {"steps": STEPS})
+            expect(code == 200, f"steps {t['name']}: {code} {body}")
+            expect(len(body["results"]) == STEPS, f"steps {t['name']}: {body}")
+            print(f"{t['name']}: {body['results'][-1]}")
+
+        code, stats = call(url, "GET", "/stats")
+        expect(code == 200, f"stats: {code}")
+        for t in tenants:
+            row = stats["tenants"][t["name"]]
+            expect(row["steps_done"] == STEPS, f"{t['name']} steps_done: {row}")
+            expect("latency_p50_ms" in row, f"{t['name']} missing latencies: {row}")
+        expect(stats["admission"]["admitted"] == 2, f"admission ledger: {stats['admission']}")
+        expect(stats["pool"]["budget_bytes"] == 2 << 20, f"pool stats: {stats['pool']}")
+        print(f"pool: {stats['pool']['in_memory_nbytes']} B resident, "
+              f"{stats['pool']['spilled_nbytes']} B spilled")
+
+        for t in tenants:
+            code, body = call(url, "DELETE", f"/tenants/{t['name']}")
+            expect(code == 200, f"evict {t['name']}: {code} {body}")
+
+        code, body = call(url, "GET", "/tenants")
+        expect(code == 200 and body["tenants"] == {}, f"tenants after evict: {body}")
+
+    print("server smoke OK")
+
+
+if __name__ == "__main__":
+    main()

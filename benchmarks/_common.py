@@ -77,6 +77,41 @@ def write_bench_json(name: str, metrics: Dict[str, dict], context: Optional[dict
     return path
 
 
+def percentile(samples, pct: float) -> float:
+    """Nearest-rank percentile (no interpolation, so a deterministic
+    sample set gates deterministically); 0.0 on an empty sample set."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = int(round(pct / 100.0 * (len(ordered) - 1)))
+    return float(ordered[max(0, min(len(ordered) - 1, rank))])
+
+
+def latency_metrics(
+    samples_seconds,
+    prefix: str = "step_latency",
+    gate: bool = False,
+    tolerance: Optional[float] = None,
+) -> Dict[str, dict]:
+    """p50/p99 latency metrics (milliseconds) from per-operation samples.
+
+    The shared shape for recording tail latency in a bench JSON:
+    ``{<prefix>_p50_ms, <prefix>_p99_ms}``, lower-is-better.  Wall-clock
+    latencies make noisy gates — gate them only with a wide *tolerance*
+    band, and prefer deterministic counts for the tight gates.
+    """
+    out = {}
+    for pct, key in ((50.0, "p50"), (99.0, "p99")):
+        out[f"{prefix}_{key}_ms"] = metric(
+            1e3 * percentile(samples_seconds, pct),
+            unit="ms",
+            higher_is_better=False,
+            gate=gate,
+            tolerance=tolerance,
+        )
+    return out
+
+
 def group_summary_doc(tracker) -> list:
     """Per-policy-group memory accounting rows for a bench JSON context.
 

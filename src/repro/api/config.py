@@ -51,6 +51,7 @@ __all__ = [
     "SanitizerSpec",
     "OptimizerSpec",
     "DistributedSpec",
+    "ServerSpec",
     "SessionConfig",
     "capture_session_config",
     "optimizer_spec_of",
@@ -776,6 +777,147 @@ class DistributedSpec:
         return spec
 
 
+@dataclass
+class ServerSpec:
+    """One multi-tenant :class:`~repro.server.SessionServer`'s knobs.
+
+    Not a :class:`SessionConfig` section — a server *hosts* many session
+    configs — but the same strict-parsing/sparse-serialization contract:
+    ``ServerSpec.from_dict(spec.to_dict())`` is identity, unknown keys
+    fail loudly, and a live server re-serializes its spec via
+    ``server.capture()``.
+
+    Parameters
+    ----------
+    pool_budget_bytes:
+        The one shared in-memory byte budget every tenant's arena is
+        carved out of (:class:`~repro.core.arena.ArenaPool`).
+    max_tenants:
+        Hard cap on simultaneously admitted tenants.
+    admission:
+        What happens to a tenant whose declared budget would oversubscribe
+        the pool beyond *overcommit*: ``"reject"`` raises
+        :class:`~repro.server.AdmissionError`; ``"queue"`` parks the
+        tenant until an eviction frees budget.
+    overcommit:
+        Admission tolerance for oversubscription: tenants are admitted
+        while ``sum(declared budgets) <= pool_budget_bytes * overcommit``.
+        ``1.0`` never oversubscribes; a production host relies on the
+        pool's fair spill and runs at 2-8x.
+    queue_depth:
+        Per-tenant cap on pending step requests; submits beyond it are
+        rejected (backpressure instead of unbounded memory growth).
+    workers:
+        Scheduler worker threads.  Each tenant's requests always run
+        serially in FIFO order regardless of worker count (per-tenant
+        determinism); workers add cross-tenant concurrency only.
+    max_batch_requests:
+        Request batching: up to this many consecutive queued requests of
+        one tenant run per dispatch before the scheduler round-robins to
+        the next tenant — amortizes per-dispatch overhead under load
+        without starving anyone.
+    shared_codebook_cache:
+        Give every szlike-family tenant codec one shared codebook
+        segment, so tenant B adopts the canonical Huffman books tenant A
+        already built (reconstruction stays bit-identical; only the
+        entropy-stage build cost is shared).
+    spill_dir:
+        Pool spill directory (defaults to an owned temp dir).
+    host, port:
+        Bind address for :func:`repro.server.serve`'s HTTP/JSON metrics
+        endpoint (``port=0`` = ephemeral).
+    """
+
+    pool_budget_bytes: int = 64 << 20
+    max_tenants: int = 8
+    admission: str = "reject"  # "reject" | "queue"
+    overcommit: float = 1.0
+    queue_depth: int = 64
+    workers: int = 1
+    max_batch_requests: int = 1
+    shared_codebook_cache: bool = True
+    spill_dir: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    def validate(self, where: str = "server") -> None:
+        for attr in ("pool_budget_bytes",):
+            v = getattr(self, attr)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                raise ConfigError(f"{where}: {attr} must be an int >= 0, got {v!r}")
+        for attr in ("max_tenants", "queue_depth", "workers", "max_batch_requests"):
+            v = getattr(self, attr)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                raise ConfigError(f"{where}: {attr} must be an int >= 1, got {v!r}")
+        if self.admission not in ("reject", "queue"):
+            raise ConfigError(
+                f"{where}: admission must be 'reject' or 'queue', "
+                f"got {self.admission!r}"
+            )
+        if not isinstance(self.overcommit, (int, float)) or isinstance(
+            self.overcommit, bool
+        ) or self.overcommit < 1.0:
+            raise ConfigError(
+                f"{where}: overcommit must be a number >= 1.0, "
+                f"got {self.overcommit!r}"
+            )
+        if not isinstance(self.shared_codebook_cache, bool):
+            raise ConfigError(
+                f"{where}: shared_codebook_cache must be a bool, "
+                f"got {self.shared_codebook_cache!r}"
+            )
+        if self.spill_dir is not None and not isinstance(self.spill_dir, str):
+            raise ConfigError(
+                f"{where}: spill_dir must be a string path or omitted, "
+                f"got {self.spill_dir!r}"
+            )
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigError(f"{where}: host must be a non-empty string")
+        if not isinstance(self.port, int) or isinstance(self.port, bool) or not (
+            0 <= self.port <= 65535
+        ):
+            raise ConfigError(
+                f"{where}: port must be an int in [0, 65535], got {self.port!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _sparse_dict(self, {})
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], where: str = "server") -> "ServerSpec":
+        _check_keys(d, cls, where)
+        spec = cls(**d)
+        spec.validate(where)
+        return spec
+
+    @classmethod
+    def from_json(cls, source: Union[str, "os.PathLike"]) -> "ServerSpec":
+        """Parse from a JSON string or file path (same dual-form rule as
+        :meth:`SessionConfig.from_json`)."""
+        return cls.from_dict(_load_json_source(source))
+
+
+def _load_json_source(source: Union[str, "os.PathLike"]) -> Dict[str, Any]:
+    """JSON text-or-path loader shared by the config entry points."""
+    if isinstance(source, os.PathLike) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        path = os.fspath(source)
+        if not os.path.exists(path):
+            raise ConfigError(
+                f"config file {path!r} does not exist "
+                f"(pass a JSON object string or a valid path)"
+            )
+        with open(path) as f:
+            text = f.read()
+    else:
+        text = source
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON: {exc}") from None
+
+
 # ---------------------------------------------------------------------------
 # The root
 # ---------------------------------------------------------------------------
@@ -924,24 +1066,7 @@ class SessionConfig:
     def from_json(cls, source: Union[str, "os.PathLike"]) -> "SessionConfig":
         """Parse from a JSON string, or from a file path if *source*
         names an existing file."""
-        if isinstance(source, os.PathLike) or (
-            isinstance(source, str) and not source.lstrip().startswith("{")
-        ):
-            path = os.fspath(source)
-            if not os.path.exists(path):
-                raise ConfigError(
-                    f"config file {path!r} does not exist "
-                    f"(pass a JSON object string or a valid path)"
-                )
-            with open(path) as f:
-                text = f.read()
-        else:
-            text = source
-        try:
-            data = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise ConfigError(f"invalid JSON: {exc}") from None
-        return cls.from_dict(data)
+        return cls.from_dict(_load_json_source(source))
 
 
 # ---------------------------------------------------------------------------

@@ -103,6 +103,7 @@ class Session:
         #: the underlying :class:`~repro.core.framework.CompressedTraining`
         #: (None when ``compress_activations=False``)
         self.compressed = compressed
+        self._closed = False
 
     # -- config round-trip -------------------------------------------------
     @classmethod
@@ -195,8 +196,12 @@ class Session:
     def close(self) -> None:
         """Tear everything down exactly once: flush in-flight packs,
         stop engine workers, restore out-of-core parameters, deactivate
-        the profiler.  Idempotent (delegates to the trainer's close-hook
-        chain, where every owned resource is registered)."""
+        the profiler.  Idempotent — the second and later calls are
+        no-ops (guarded here, and the trainer's close-hook chain is
+        swap-on-close as a second line of defense)."""
+        if self._closed:
+            return
+        self._closed = True
         self.trainer.close()
 
     def __enter__(self) -> "Session":
@@ -210,7 +215,9 @@ class Session:
         return f"Session({mode}, engine={self.config.engine.kind!r}, iter={self.trainer.iteration})"
 
 
-def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
+def build_session(
+    network, config: SessionConfig, *, optimizer=None, storage=None
+) -> Session:
     """Build a live :class:`Session` for *network* from *config*.
 
     Parameters
@@ -224,6 +231,14 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
     optimizer:
         Optional pre-built optimizer; by default one is constructed from
         ``config.optimizer`` over ``network.parameters()``.
+    storage:
+        Optional pre-built activation :class:`~repro.core.arena.ByteArena`
+        used instead of constructing one from ``config.storage`` — the
+        injection point the multi-tenant server uses to hand every
+        tenant a member arena of one shared
+        :class:`~repro.core.arena.ArenaPool`.  Only honored when
+        ``config.storage.activations == "arena"``; the caller keeps
+        ownership (the session does not close it).
     """
     from repro.core.arena import ByteArena
     from repro.core.framework import CompressedTraining
@@ -262,8 +277,9 @@ def build_session(network, config: SessionConfig, *, optimizer=None) -> Session:
     if optimizer is None:
         optimizer = config.optimizer.build(network.parameters())
 
-    storage = None
-    if config.storage.activations == "arena":
+    if config.storage.activations != "arena":
+        storage = None
+    elif storage is None:
         storage = ByteArena(
             budget_bytes=config.storage.budget_bytes,
             spill_dir=config.storage.spill_dir,

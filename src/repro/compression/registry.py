@@ -801,7 +801,11 @@ class ChunkedCodec:
 register_codec("chunked", ChunkedCodec)
 
 
-def ensure_shared_codebook_cache(codec: Any) -> bool:
+def ensure_shared_codebook_cache(
+    codec: Any,
+    segment_path: Optional[str] = None,
+    owner: Optional[str] = None,
+) -> bool:
     """Upgrade *codec*'s codebook cache to a :class:`SharedCodebookCache`.
 
     Recurses through :class:`ChunkedCodec` wrappers to the inner codec.
@@ -809,13 +813,26 @@ def ensure_shared_codebook_cache(codec: Any) -> bool:
     False for codecs without a codebook cache (nothing to share — e.g.
     jpeg/lossless, or ``codebook_cache=False``), which is a no-op, not
     an error: a session-wide switch must tolerate mixed rule codecs.
+
+    *segment_path* points the cache at an existing shared segment (the
+    multi-tenant server passes one file every tenant adopts from; the
+    caller owns that file's lifetime).  A codec whose cache is already
+    shared but on a different segment is re-pointed, keeping its
+    staleness knobs.  *owner* labels this participant's publishes for
+    the segment's adoption ledger.
     """
     if isinstance(codec, ChunkedCodec):
-        return ensure_shared_codebook_cache(codec.inner)
+        return ensure_shared_codebook_cache(codec.inner, segment_path, owner)
     cache = getattr(codec, "codebook_cache", None)
     if cache is None:
         return False
     if isinstance(cache, SharedCodebookCache):
-        return True
-    codec.codebook_cache = SharedCodebookCache.from_cache(cache)
+        if segment_path is None or cache.segment_path == segment_path:
+            if owner is not None:
+                cache.owner = owner
+            return True
+        cache.close()  # drop the private segment before re-pointing
+    codec.codebook_cache = SharedCodebookCache.from_cache(
+        cache, segment_path=segment_path, owner=owner
+    )
     return True

@@ -329,6 +329,7 @@ class SharedCodebookCache(CodebookCache):
         max_escape_ratio: float = 0.02,
         max_entries: int = 512,
         segment_path: Optional[str] = None,
+        owner: Optional[str] = None,
     ):
         super().__init__(
             refresh_interval=refresh_interval,
@@ -346,14 +347,24 @@ class SharedCodebookCache(CodebookCache):
             self._owns_segment = False
         self.segment_path = segment_path
         self._creator_pid = os.getpid()
+        #: participant label stamped on published books (a server sets
+        #: the tenant name here); None publishes anonymously
+        self.owner = owner
         # -- shared-segment statistics (guarded like the base counters) ----
         self.shared_adoptions = 0  # entries adopted from the segment
         self.publishes = 0  # merges written to the segment
         self.segment_errors = 0  # degraded-to-local events
+        #: publisher label -> books adopted from that publisher; the
+        #: multi-tenant amortization ledger ("who warmed whose cache").
+        #: Anonymous publishers count under "<anonymous>".
+        self.adoptions_from: Dict[str, int] = {}
 
     @classmethod
     def from_cache(
-        cls, cache: CodebookCache, segment_path: Optional[str] = None
+        cls,
+        cache: CodebookCache,
+        segment_path: Optional[str] = None,
+        owner: Optional[str] = None,
     ) -> "SharedCodebookCache":
         """A shared cache with the same staleness knobs as *cache*."""
         return cls(
@@ -362,7 +373,23 @@ class SharedCodebookCache(CodebookCache):
             max_escape_ratio=cache.max_escape_ratio,
             max_entries=cache.max_entries,
             segment_path=segment_path,
+            owner=owner,
         )
+
+    # -- segment value format ----------------------------------------------
+    # Entries are ``(lengths_bytes, owner)``; bare ``bytes`` values from
+    # older segments are read as anonymously published.
+    @staticmethod
+    def _seg_lengths(value) -> Optional[bytes]:
+        if isinstance(value, tuple):
+            value = value[0]
+        return value if isinstance(value, bytes) and value else None
+
+    @staticmethod
+    def _seg_owner(value) -> str:
+        if isinstance(value, tuple) and isinstance(value[1], str):
+            return value[1]
+        return "<anonymous>"
 
     # -- segment I/O (never under self._lock: file waits must not stall
     # -- other keys' lookups, and the lock is non-reentrant) ---------------
@@ -431,16 +458,21 @@ class SharedCodebookCache(CodebookCache):
 
     def _adopt(self, key: Hashable) -> None:
         """Install *key*'s published codebook from the segment, if any."""
-        lengths = self._read_segment().get(key)
-        if not isinstance(lengths, bytes) or not lengths:
+        value = self._read_segment().get(key)
+        lengths = self._seg_lengths(value)
+        if lengths is None:
             return
         book = HuffmanCodebook.from_lengths(
             np.frombuffer(lengths, dtype=np.uint8).copy()
         )
+        publisher = self._seg_owner(value)
         with self._lock:
             if key not in self._entries:
                 self._install(key, book)
                 self.shared_adoptions += 1
+                self.adoptions_from[publisher] = (
+                    self.adoptions_from.get(publisher, 0) + 1
+                )
 
     # -- API ---------------------------------------------------------------
     def lookup(self, key: Hashable, hist: np.ndarray) -> Tuple[HuffmanCodebook, bool]:
@@ -454,9 +486,20 @@ class SharedCodebookCache(CodebookCache):
             # any update another process lost to a crash mid-run.
             with self._lock:
                 local = {
-                    k: e.codebook.lengths.tobytes() for k, e in self._entries.items()
+                    k: (e.codebook.lengths.tobytes(), self.owner)
+                    for k, e in self._entries.items()
                 }
-            self._rewrite_segment(lambda merged: merged.update(local))
+
+            def merge(merged):
+                for k, v in local.items():
+                    # An unchanged book keeps its original publisher, so
+                    # re-merging an adopted entry never relabels the
+                    # tenant that actually built it.
+                    if self._seg_lengths(merged.get(k)) == v[0]:
+                        continue
+                    merged[k] = v
+
+            self._rewrite_segment(merge)
         return book, reused
 
     def invalidate(self, key: Hashable = None) -> None:
@@ -469,9 +512,11 @@ class SharedCodebookCache(CodebookCache):
     def stats(self) -> dict:
         out = super().stats()
         with self._lock:
+            out["owner"] = self.owner
             out["shared_adoptions"] = self.shared_adoptions
             out["publishes"] = self.publishes
             out["segment_errors"] = self.segment_errors
+            out["adoptions_from"] = dict(self.adoptions_from)
         return out
 
     # -- lifecycle ---------------------------------------------------------
@@ -512,6 +557,7 @@ class SharedCodebookCache(CodebookCache):
             "segment_errors",
         ):
             state[counter] = 0
+        state["adoptions_from"] = {}
         return state
 
     def __repr__(self) -> str:

@@ -40,7 +40,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.utils import profiler
 
-__all__ = ["ByteArena"]
+__all__ = ["ByteArena", "ArenaPool"]
 
 
 class ByteArena:
@@ -325,6 +325,22 @@ class ByteArena:
                 staged += 1
         return staged
 
+    def spill_bytes(self, nbytes: int) -> int:
+        """Force FIFO-oldest resident entries to disk until at least
+        *nbytes* have spilled (or nothing resident remains); returns the
+        bytes actually spilled.  The cross-tenant pressure valve an
+        :class:`ArenaPool` turns when the *pool* budget — not this
+        arena's own — is exceeded."""
+        spilled = 0
+        with profiler.stage("arena-io"), self._lock:
+            if self._closed:
+                return 0
+            while self._mem and spilled < nbytes:
+                key = next(iter(self._mem))
+                spilled += len(self._mem[key])
+                self._spill_entry(key)
+        return spilled
+
     def pop(self, key: int) -> bytes:
         """Read and release the entry (spill files are deleted).
 
@@ -426,4 +442,238 @@ class ByteArena:
         return (
             f"ByteArena(entries={entries}, mem={mem}B, "
             f"disk={disk}B, budget={budget})"
+        )
+
+
+class _PooledArena(ByteArena):
+    """A tenant's member arena inside an :class:`ArenaPool`.
+
+    Behaves exactly like a standalone :class:`ByteArena` under its own
+    declared budget; additionally, every ``put`` notifies the pool — with
+    no lock held — so cross-tenant pressure can spill *someone* (fairly,
+    maybe not this tenant) when the aggregate exceeds the pool budget.
+    Lock order is strictly pool -> member: the member never calls into
+    the pool while holding its own lock.
+    """
+
+    def __init__(self, pool: "ArenaPool", tenant: str, budget_bytes, spill_dir):
+        super().__init__(budget_bytes=budget_bytes, spill_dir=spill_dir)
+        self._pool = pool
+        self.tenant = tenant
+        #: bytes spilled by pool-level (cross-tenant) pressure, as
+        #: opposed to this arena's own budget; mutated by the pool's
+        #: rebalance with the pool lock held
+        self.pool_spilled_bytes = 0
+        self.pool_spill_events = 0
+
+    def put(self, data: bytes, group=None) -> int:
+        key = super().put(data, group=group)
+        # Own lock released above; the pool may now take its lock and
+        # spill across tenants without inverting the pool->member order.
+        self._pool._rebalance()
+        return key
+
+    def close(self) -> None:
+        super().close()
+        self._pool._on_member_closed(self)
+
+
+class ArenaPool:
+    """One byte budget carved across many tenants' arenas, with fair
+    cross-tenant spill — :meth:`ByteArena.group_stats`-style accounting
+    lifted to the pool level.
+
+    Each tenant gets a full :class:`ByteArena` via :meth:`create_arena`
+    (its *declared* budget is enforced per-tenant exactly as standalone);
+    on top, the pool enforces one aggregate ``budget_bytes`` over every
+    member's resident bytes.  When the aggregate overflows — the normal
+    state of an oversubscribed multi-tenant host — the pool spills from
+    the tenant furthest over its **fair share**
+    (``pool_budget * declared / sum(declared)``), oldest entries first
+    within that tenant, until the pool fits.  Spilling is value-neutral
+    (bytes move to disk, reads transparently follow), so tenants under
+    pool pressure see latency, never wrong data.
+
+    All members share one spill directory (per-arena file tags keep them
+    disjoint); the pool owns it when none is supplied.  Thread-safety:
+    member puts from concurrent tenant sessions serialize through the
+    pool lock only during rebalance, and the lock order is always
+    pool -> member, so tenant-side traffic never deadlocks against a
+    rebalance in progress.
+    """
+
+    def __init__(self, budget_bytes: int, spill_dir: Optional[str] = None):
+        if budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._spill_dir = spill_dir
+        self._owns_spill_dir = spill_dir is None
+        #: tenant name -> member arena / declared budget (guarded by _lock)
+        self._members: Dict[str, _PooledArena] = {}
+        self._declared: Dict[str, int] = {}
+        self._closed = False
+        self._lock = threading.Lock()
+        # -- statistics (mutated under _lock) ------------------------------
+        self.rebalances = 0
+        self.forced_spill_count = 0
+        self.forced_spill_bytes = 0
+        from repro.core.sanitizer import maybe_instrument
+
+        maybe_instrument(self, "arena_pool")
+
+    # -- membership ---------------------------------------------------------
+    def create_arena(self, tenant: str, budget_bytes: Optional[int] = None) -> ByteArena:
+        """A new member arena for *tenant* with its own *budget_bytes*
+        (the tenant's declared working-set cap; ``None`` declares the
+        whole pool).  Raises for duplicate tenant names."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena pool is closed")
+            if tenant in self._members:
+                raise ValueError(f"tenant {tenant!r} already has an arena")
+            if self._spill_dir is None:
+                self._spill_dir = tempfile.mkdtemp(prefix="repro-pool-")
+            declared = self.budget_bytes if budget_bytes is None else int(budget_bytes)
+            member = _PooledArena(self, tenant, budget_bytes, self._spill_dir)
+            self._members[tenant] = member
+            self._declared[tenant] = declared
+            return member
+
+    def release(self, tenant: str) -> None:
+        """Close and drop *tenant*'s arena (unknown tenants are a no-op)."""
+        with self._lock:
+            member = self._members.get(tenant)
+        if member is not None:
+            member.close()  # calls back into _on_member_closed
+
+    def _on_member_closed(self, member: "_PooledArena") -> None:
+        with self._lock:
+            if self._members.get(member.tenant) is member:
+                del self._members[member.tenant]
+                del self._declared[member.tenant]
+
+    # -- the fair-spill valve -----------------------------------------------
+    def _rebalance(self) -> None:
+        """Spill across tenants until the aggregate fits the pool budget.
+
+        Victim selection is deterministic: the tenant with the largest
+        resident excess over its fair share, ties broken by name — so a
+        fixed put sequence always produces the same spill trace.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self.rebalances += 1
+            members = dict(self._members)
+            total_declared = sum(self._declared.values())
+            exhausted = set()
+            while True:
+                resident = {
+                    name: arena.in_memory_nbytes
+                    for name, arena in members.items()
+                    if name not in exhausted
+                }
+                excess = sum(resident.values()) - self.budget_bytes
+                if excess <= 0 or not resident:
+                    return
+                victim = max(
+                    sorted(resident),
+                    key=lambda name: resident[name] - self._fair_share(name, total_declared),
+                )
+                over_share = resident[victim] - self._fair_share(victim, total_declared)
+                want = min(excess, max(over_share, 1))
+                spilled = members[victim].spill_bytes(int(want))
+                if spilled <= 0:
+                    exhausted.add(victim)
+                    continue
+                self.forced_spill_count += 1
+                self.forced_spill_bytes += spilled
+                members[victim].pool_spilled_bytes += spilled
+                members[victim].pool_spill_events += 1
+
+    def _fair_share(self, tenant: str, total_declared: int) -> float:
+        """Callers hold the lock."""
+        if total_declared <= 0:
+            return self.budget_bytes / max(len(self._members), 1)
+        return self.budget_bytes * self._declared[tenant] / total_declared
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def declared_bytes(self) -> int:
+        with self._lock:
+            return sum(self._declared.values())
+
+    @property
+    def in_memory_nbytes(self) -> int:
+        with self._lock:
+            return sum(a.in_memory_nbytes for a in self._members.values())
+
+    @property
+    def spilled_nbytes(self) -> int:
+        with self._lock:
+            return sum(a.spilled_nbytes for a in self._members.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Pool-level accounting, one row per tenant — the cross-tenant
+        twin of :meth:`ByteArena.group_stats`."""
+        with self._lock:
+            total_declared = sum(self._declared.values())
+            tenants = {}
+            for name in sorted(self._members):
+                arena = self._members[name]
+                tenants[name] = {
+                    "declared_bytes": self._declared[name],
+                    "fair_share_bytes": int(self._fair_share(name, total_declared)),
+                    "in_memory_nbytes": arena.in_memory_nbytes,
+                    "spilled_nbytes": arena.spilled_nbytes,
+                    "spill_count": arena.spill_count,
+                    "pool_spilled_bytes": arena.pool_spilled_bytes,
+                    "pool_spill_events": arena.pool_spill_events,
+                    "entries": len(arena),
+                }
+            return {
+                "budget_bytes": self.budget_bytes,
+                "declared_bytes": total_declared,
+                "in_memory_nbytes": sum(t["in_memory_nbytes"] for t in tenants.values()),
+                "spilled_nbytes": sum(t["spilled_nbytes"] for t in tenants.values()),
+                "rebalances": self.rebalances,
+                "forced_spill_count": self.forced_spill_count,
+                "forced_spill_bytes": self.forced_spill_bytes,
+                "tenants": tenants,
+            }
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Close every member arena and remove the owned spill dir."""
+        with self._lock:
+            if self._closed:
+                return
+            members = list(self._members.values())
+        for member in members:
+            member.close()
+        with self._lock:
+            self._closed = True
+            if self._owns_spill_dir and self._spill_dir is not None:
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
+                self._spill_dir = None
+
+    def __enter__(self) -> "ArenaPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        with self._lock:
+            n = len(self._members)
+            declared = sum(self._declared.values())
+        return (
+            f"ArenaPool(tenants={n}, budget={self.budget_bytes}B, "
+            f"declared={declared}B)"
         )

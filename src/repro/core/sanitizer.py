@@ -362,8 +362,8 @@ def maybe_instrument(obj, kind: str) -> None:
 
     Called (cheaply — one attribute read when disabled) from the
     ``__init__`` of every sanitizer-aware class.  *kind* selects the
-    instrumentation: ``"arena"``, ``"scratch"``, ``"codebook_cache"``,
-    ``"param_store"``, ``"engine"``.
+    instrumentation: ``"arena"``, ``"arena_pool"``, ``"scratch"``,
+    ``"codebook_cache"``, ``"param_store"``, ``"engine"``.
     """
     if not _STATE.enabled:
         return
@@ -371,6 +371,8 @@ def maybe_instrument(obj, kind: str) -> None:
         _instrument_arena(obj)
     elif kind == "scratch":
         _instrument_scratch(obj)
+    elif kind == "arena_pool" and _STATE.lock_order:
+        _track_lock(obj, "_lock", f"arena-pool-{id(obj):#x}", reentrant=False)
     elif kind == "codebook_cache" and _STATE.lock_order:
         _track_lock(obj, "_lock", f"codebook-{id(obj):#x}", reentrant=False)
     elif kind == "param_store" and _STATE.lock_order:

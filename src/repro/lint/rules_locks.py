@@ -1,9 +1,11 @@
 """LCK001 — lock discipline for lock-owning classes.
 
-**Rule.** In a class that creates a ``threading.Lock``/``RLock`` in any
-of its methods (``self._lock = threading.RLock()``), every attribute
-that is *mutated* inside a ``with self._lock:`` block anywhere in the
-class is considered **guarded**.  Touching a guarded attribute (read or
+**Rule.** In a class that creates a ``threading.Lock``/``RLock``/
+``Condition`` in any of its methods (``self._lock = threading.RLock()``;
+a ``Condition`` *is* a lock context manager — ``with self._cond:``
+acquires its underlying lock), every attribute that is *mutated* inside
+a ``with self._lock:`` block anywhere in the class is considered
+**guarded**.  Touching a guarded attribute (read or
 write) outside such a block, in any method, is a violation: the mix is
 exactly the pattern that tears multi-field invariants under the async
 engine's worker pool (e.g. reading ``in_memory_nbytes`` while a
@@ -41,7 +43,7 @@ from repro.lint.engine import LintModule, LintRun, Rule, Violation
 
 __all__ = ["LockDisciplineRule"]
 
-_LOCK_FACTORIES = {"Lock", "RLock"}
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
 _EXEMPT_METHODS = {"__init__", "__getstate__", "__setstate__", "__del__"}
 _LOCK_HELD_DOC = re.compile(r"callers?\s+(?:must\s+)?holds?\s+the\s+lock", re.I)
 _MUTATING_METHODS = {

@@ -42,7 +42,14 @@ import threading
 import time
 from typing import Dict, Optional
 
-__all__ = ["StageProfiler", "stage", "get_active", "set_active"]
+__all__ = [
+    "StageProfiler",
+    "stage",
+    "get_active",
+    "set_active",
+    "bind_to_thread",
+    "merge_snapshots",
+]
 
 
 class _NullContext:
@@ -223,9 +230,17 @@ class StageProfiler:
 #: pay one global read when profiling is off
 _ACTIVE: Optional[StageProfiler] = None
 
+#: per-thread override of the active profiler: a multi-tenant server
+#: runs many sessions' steps concurrently on scheduler threads, and each
+#: step's stages must land in *that tenant's* profiler, not whichever
+#: session activated last.  The process-wide slot stays the fallback for
+#: unbound threads (the single-session case is unchanged).
+_THREAD = threading.local()
+
 
 def get_active() -> Optional[StageProfiler]:
-    return _ACTIVE
+    bound = getattr(_THREAD, "profiler", None)
+    return bound if bound is not None else _ACTIVE
 
 
 def set_active(profiler: Optional[StageProfiler]) -> None:
@@ -233,9 +248,53 @@ def set_active(profiler: Optional[StageProfiler]) -> None:
     _ACTIVE = profiler
 
 
+class _ThreadBinding:
+    """Context manager scoping a thread-local profiler binding."""
+
+    __slots__ = ("_profiler", "_prev")
+
+    def __init__(self, profiler: Optional[StageProfiler]):
+        self._profiler = profiler
+
+    def __enter__(self):
+        self._prev = getattr(_THREAD, "profiler", None)
+        _THREAD.profiler = self._profiler
+        return self._profiler
+
+    def __exit__(self, *exc):
+        _THREAD.profiler = self._prev
+        return False
+
+
+def bind_to_thread(profiler: Optional[StageProfiler]) -> _ThreadBinding:
+    """Bind *profiler* as this thread's active profiler for a scope:
+
+        with profiler.bind_to_thread(tenant_profiler):
+            session.train_step(...)
+
+    Inside the scope, :func:`stage` on this thread records into
+    *profiler* regardless of the process-wide active one; other threads
+    are unaffected.  ``None`` is an unbind (the thread falls back to the
+    process-wide profiler)."""
+    return _ThreadBinding(profiler)
+
+
 def stage(name: str, hidden: bool = False):
     """Time a region under the active profiler (no-op when none)."""
-    p = _ACTIVE
+    p = getattr(_THREAD, "profiler", None)
+    if p is None:
+        p = _ACTIVE
     if p is None:
         return _NULL
     return p.stage(name, hidden)
+
+
+def merge_snapshots(snapshots) -> Dict[str, Dict[str, float]]:
+    """Fold many :meth:`StageProfiler.snapshot` dicts into one merged
+    view — the cross-tenant aggregate a server's metrics surface reports
+    next to the per-tenant breakdowns.  Seconds, calls, and hidden
+    seconds sum per stage; input snapshots are untouched."""
+    merged = StageProfiler()
+    for snap in snapshots:
+        merged.merge(snap)
+    return merged.snapshot()

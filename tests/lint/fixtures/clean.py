@@ -30,6 +30,25 @@ class Guarded:
         self.count += 1
 
 
+class CondGuarded:
+    """A Condition is a lock context manager: ``with self._cond:``
+    guards exactly like ``with self._lock:`` on the wrapped lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.queue = []
+
+    def push(self, item):
+        with self._cond:
+            self.queue.append(item)
+            self._cond.notify()
+
+    def steal(self):
+        with self._lock:  # same underlying lock as the condition
+            return self.queue.pop() if self.queue else None
+
+
 def transfer(arena, blob):
     key = arena.put(blob)
     try:
